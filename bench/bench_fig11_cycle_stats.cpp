@@ -1,0 +1,80 @@
+// Fig. 11 + §6.2: cycle-scale statistics across the whole testbed — the
+// average tone-map update inter-arrival time (alpha) and the BLE standard
+// deviation as functions of link quality (average BLE).
+#include <algorithm>
+
+#include "bench_util.hpp"
+
+using namespace efd;
+
+int main() {
+  bench::header("Fig. 11", "alpha and std(BLE) vs link quality, all links (night)",
+                "good links update tone maps orders of magnitude less often "
+                "(alpha up to ~10 s vs ~100 ms) and show smaller BLE std (0-6 "
+                "Mb/s range, falling with quality)");
+
+  sim::Simulator sim;
+  testbed::Testbed::Config cfg;
+  cfg.with_hpav500 = false;
+  testbed::Testbed tb(sim, cfg);
+  sim.run_until(testbed::weekend_night());
+
+  struct Row {
+    int a, b;
+    double ble;
+    double alpha_ms;
+    double std_ble;
+  };
+  std::vector<Row> rows;
+  for (const auto& [a, b] : tb.plc_links()) {
+    if (tb.plc_channel().mean_snr_db(a, b, 0, sim.now()) < 5.0) continue;
+    bench::warm_link(tb, a, b);
+    auto& est = tb.plc_network_of(b).estimator(b, a);
+    core::LinkTraceSampler sampler(tb.plc_channel(), est, a, b,
+                                   sim::Rng{tb.seed() ^ 0x11bULL});
+    const sim::Time start = tb.simulator().now();
+    const auto updates_before = est.update_count();
+    const auto trace = sampler.run(start, start + sim::seconds(120));
+    sim::RunningStats stats;
+    for (const auto& s : trace) stats.add(s.ble_mbps);
+    const auto updates = est.update_count() - updates_before;
+    rows.push_back({a, b, stats.mean(),
+                    updates > 0 ? 120000.0 / static_cast<double>(updates) : 120000.0,
+                    stats.stddev()});
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& x, const Row& y) { return x.ble < y.ble; });
+
+  bench::section("per-link statistics (sorted by average BLE)");
+  std::printf("%-8s %10s %12s %12s\n", "link", "BLE Mb/s", "alpha (ms)",
+              "std (Mb/s)");
+  for (std::size_t i = 0; i < rows.size(); i += 6) {  // print every 6th
+    const Row& r = rows[i];
+    std::printf("%2d->%-5d %10.1f %12.0f %12.2f\n", r.a, r.b, r.ble, r.alpha_ms,
+                r.std_ble);
+  }
+
+  bench::section("correlations");
+  std::vector<double> ble, alpha, stddev;
+  for (const Row& r : rows) {
+    ble.push_back(r.ble);
+    alpha.push_back(std::log10(r.alpha_ms));
+    stddev.push_back(r.std_ble);
+  }
+  std::printf("corr(BLE, log alpha) = %+.2f  (paper: positive — good links "
+              "update less)\n",
+              sim::pearson(ble, alpha));
+  std::printf("corr(BLE, std BLE)   = %+.2f  (paper: negative — good links "
+              "vary less)\n",
+              sim::pearson(ble, stddev));
+
+  sim::RunningStats std_good, std_bad;
+  for (const Row& r : rows) {
+    (r.ble > 100.0 ? std_good : std_bad).add(r.std_ble);
+  }
+  std::printf("mean std(BLE): links >100 Mb/s: %.2f; links <=100: %.2f "
+              "(paper: 0-6 Mb/s range)\n",
+              std_good.mean(), std_bad.mean());
+  return 0;
+}

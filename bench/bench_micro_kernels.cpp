@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark) for the simulation's hot kernels —
+// the loops that dominate multi-day trace generation. Useful when touching
+// the channel cache, the tone-map builder, or the event queue.
+#include <benchmark/benchmark.h>
+
+#include "src/grid/appliance.hpp"
+#include "src/plc/channel.hpp"
+#include "src/plc/channel_estimator.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace {
+
+using namespace efd;
+
+struct Rig {
+  grid::PowerGrid grid;
+  std::unique_ptr<plc::PlcChannel> channel;
+
+  Rig() {
+    const int a = grid.add_node("a");
+    const int j = grid.add_node("j");
+    const int b = grid.add_node("b");
+    grid.add_cable(a, j, 12.0);
+    grid.add_cable(j, b, 10.0);
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      grid.add_appliance(grid::make_appliance(
+          s % 2 == 0 ? grid::ApplianceType::kWorkstation
+                     : grid::ApplianceType::kLightBank,
+          s < 3 ? j : b, s));
+    }
+    channel = std::make_unique<plc::PlcChannel>(grid, plc::PhyParams::hpav());
+    channel->attach_station(0, a);
+    channel->attach_station(1, b);
+  }
+};
+
+void BM_EventQueueSchedule(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sim.at(sim::Time{t += 10}, [] {});
+    if (t % 1024 == 0) sim.run_until(sim::Time{t});
+  }
+  sim.run();
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void BM_GridAttenuation(benchmark::State& state) {
+  Rig rig;
+  const auto t = sim::days(1) + sim::hours(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rig.grid.attenuation_db(0, 2, rig.channel->phy().band, t));
+  }
+}
+BENCHMARK(BM_GridAttenuation);
+
+void BM_ChannelSnrCached(benchmark::State& state) {
+  Rig rig;
+  const auto t = sim::days(1) + sim::hours(12);
+  (void)rig.channel->static_snr_db(0, 1, 0, t);  // prime the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.channel->static_snr_db(0, 1, 0, t));
+  }
+}
+BENCHMARK(BM_ChannelSnrCached);
+
+void BM_ToneMapFromSnr(benchmark::State& state) {
+  Rig rig;
+  const auto snr =
+      rig.channel->snr_db(0, 1, 0, sim::days(1) + sim::hours(12));
+  const plc::PhyParams phy = plc::PhyParams::hpav();
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plc::ToneMap::from_snr(snr, 1.5, phy, 0.01, ++id));
+  }
+}
+BENCHMARK(BM_ToneMapFromSnr);
+
+void BM_PbErrorMemoized(benchmark::State& state) {
+  Rig rig;
+  const auto t = sim::days(1) + sim::hours(12);
+  const auto snr = rig.channel->snr_db(0, 1, 0, t);
+  const auto tm = plc::ToneMap::from_snr(snr, 1.5, rig.channel->phy(), 0.01, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.channel->pb_error_probability(tm, 0, 1, 0, t));
+  }
+}
+BENCHMARK(BM_PbErrorMemoized);
+
+void BM_EstimatorFrameUpdate(benchmark::State& state) {
+  Rig rig;
+  plc::ChannelEstimator est(*rig.channel, 0, 1, sim::Rng{3}, {});
+  sim::Time now = sim::days(1) + sim::hours(12);
+  est.on_sound_frame(now);
+  for (auto _ : state) {
+    now += sim::milliseconds(3);
+    est.on_frame_received(rig.channel->slot_at(now), 50, 0, 40, now);
+  }
+}
+BENCHMARK(BM_EstimatorFrameUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction benches: every bench builds the
+// Fig. 2 testbed, runs one experiment, and prints the rows/series of the
+// corresponding paper table or figure plus the reference shape to compare
+// against. See DESIGN.md §4 for the experiment index.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/capacity.hpp"
+#include "src/core/sampler.hpp"
+#include "src/core/sof_capture.hpp"
+#include "src/net/meters.hpp"
+#include "src/net/sources.hpp"
+#include "src/sim/stats.hpp"
+#include "src/testbed/experiment.hpp"
+
+namespace efd::bench {
+
+inline void header(const char* figure, const char* title, const char* paper_shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("paper shape: %s\n", paper_shape);
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n-- %s --\n", name.c_str());
+}
+
+/// Drive a ChannelEstimator for a link with emulated saturated traffic
+/// until it converges (the paper's devices are long-converged when
+/// measured).
+inline void warm_link(testbed::Testbed& tb, net::StationId src, net::StationId dst,
+                      testbed::PlcGeneration g = testbed::PlcGeneration::kHpav,
+                      double seconds = 3.0) {
+  auto& est = tb.plc_network_of(dst, g).estimator(dst, src);
+  core::LinkTraceSampler sampler(tb.plc_channel(g), est, src, dst,
+                                 sim::Rng{tb.seed() ^ 0x3a3aULL});
+  const sim::Time now = tb.simulator().now();
+  (void)sampler.run(now, now + sim::seconds(seconds));
+}
+
+/// Average BLE of a link after warming it (cheap capacity classification
+/// used by several benches to pick representative links).
+inline double warmed_ble(testbed::Testbed& tb, net::StationId src, net::StationId dst,
+                         testbed::PlcGeneration g = testbed::PlcGeneration::kHpav) {
+  warm_link(tb, src, dst, g);
+  return tb.plc_network_of(dst, g).estimator(dst, src).average_ble_mbps();
+}
+
+}  // namespace efd::bench

@@ -1,0 +1,139 @@
+// Hybrid streaming: the paper's §4.1 motivation — a constant-rate HD stream
+// cares about *variance*, not just mean throughput. Run a 25 Mb/s stream
+// over WiFi alone, PLC alone, and the capacity-split hybrid, and compare
+// delivered rate stability and jitter.
+//
+// Build & run:  ./build/examples/hybrid_streaming
+#include <cstdio>
+#include <memory>
+
+#include "src/core/capacity.hpp"
+#include "src/hybrid/device.hpp"
+#include "src/net/meters.hpp"
+#include "src/net/sources.hpp"
+#include "src/testbed/experiment.hpp"
+
+using namespace efd;
+
+namespace {
+
+struct StreamResult {
+  double mean_mbps, std_mbps, jitter_ms;
+  std::uint64_t late_or_lost;
+};
+
+StreamResult stream_over(sim::Simulator& sim, net::Interface& tx, net::Interface& rx,
+                         int src, int dst, double seconds) {
+  net::ThroughputMeter meter{sim::seconds(1)};
+  net::JitterMeter jitter;
+  net::LossMeter loss;
+  rx.set_rx_handler([&](const net::Packet& p, sim::Time t) {
+    meter.on_packet(p, t);
+    jitter.on_packet(p, t);
+    loss.on_packet(p, t);
+  });
+  net::UdpSource::Config cfg;
+  cfg.src = src;
+  cfg.dst = dst;
+  cfg.rate_bps = 25e6;  // an HD stream
+  cfg.packet_bytes = 1316;
+  net::UdpSource source(sim, tx, cfg);
+  const sim::Time start = sim.now();
+  source.run(start, start + sim::seconds(seconds));
+  sim.run_until(start + sim::seconds(seconds));
+  meter.finish(sim.now());
+  rx.set_rx_handler([](const net::Packet&, sim::Time) {});
+  sim.run_until(sim.now() + sim::milliseconds(500));
+  const auto stats = meter.stats();
+  return {stats.mean(), stats.stddev(), jitter.mean_jitter_ms(), loss.lost()};
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  testbed::Testbed::Config cfg;
+  cfg.with_hpav500 = false;
+  testbed::Testbed tb(sim, cfg);
+  sim.run_until(testbed::weekday_afternoon());
+
+  // A mid-distance pair where WiFi is usable but shaky.
+  int src = -1, dst = -1;
+  for (const auto& [a, b] : tb.plc_links()) {
+    const double plc_snr = tb.plc_channel().mean_snr_db(a, b, 0, sim.now());
+    const double wifi_snr = tb.wifi().channel().mean_snr_db(a, b);
+    if (plc_snr > 22.0 && wifi_snr > 14.0 && wifi_snr < 24.0) {
+      src = a;
+      dst = b;
+      break;
+    }
+  }
+  std::printf("Streaming 25 Mb/s for 60 s on pair %d->%d\n\n", src, dst);
+
+  // Warm up the PLC estimator first.
+  (void)testbed::measure_plc_throughput(tb, src, dst, sim::seconds(5));
+  const auto plc_cap = testbed::measure_plc_throughput(tb, src, dst, sim::seconds(5));
+  const auto wifi_cap = testbed::measure_wifi_throughput(tb, src, dst, sim::seconds(5));
+
+  const auto wifi = stream_over(sim, tb.wifi_station(src), tb.wifi_station(dst),
+                                src, dst, 60.0);
+  const auto plc = stream_over(sim, tb.plc_station(src).mac(),
+                               tb.plc_station(dst).mac(), src, dst, 60.0);
+
+  hybrid::HybridDevice tx(sim, {&tb.plc_station(src).mac(), &tb.wifi_station(src)},
+                          std::make_unique<hybrid::CapacityScheduler>(sim::Rng{3}));
+  hybrid::HybridDevice rx(sim, {&tb.plc_station(dst).mac(), &tb.wifi_station(dst)},
+                          std::make_unique<hybrid::RoundRobinScheduler>(2));
+  StreamResult hybrid_result{};
+  {
+    net::ThroughputMeter meter{sim::seconds(1)};
+    net::JitterMeter jitter;
+    net::LossMeter loss;
+    rx.set_rx_handler([&](const net::Packet& p, sim::Time t) {
+      meter.on_packet(p, t);
+      jitter.on_packet(p, t);
+      loss.on_packet(p, t);
+    });
+    rx.start_receiving();
+    tx.set_capacities({plc_cap.mean_mbps, wifi_cap.mean_mbps});
+    // Refresh the capacity estimates every second, as the paper's §7.4
+    // implementation does (1 probe/s; BLE for PLC, MCS for WiFi).
+    core::BleCapacityEstimator ble_to_t;
+    std::function<void()> refresh = [&] {
+      const double plc_mbps =
+          ble_to_t.throughput_from_ble(tb.plc_network_of(dst).mm_average_ble(src, dst));
+      const double wifi_mbps = 0.75 * tb.wifi().mcs_capacity_mbps(src, dst, sim.now());
+      tx.set_capacities({plc_mbps, wifi_mbps});
+      sim.after(sim::seconds(1), refresh);
+    };
+    sim.after(sim::seconds(1), refresh);
+    net::UdpSource::Config scfg;
+    scfg.src = src;
+    scfg.dst = dst;
+    scfg.rate_bps = 25e6;
+    scfg.packet_bytes = 1316;
+    net::UdpSource source(sim, tx, scfg);
+    const sim::Time start = sim.now();
+    source.run(start, start + sim::seconds(60));
+    sim.run_until(start + sim::seconds(60));
+    meter.finish(sim.now());
+    const auto stats = meter.stats();
+    hybrid_result = {stats.mean(), stats.stddev(), jitter.mean_jitter_ms(),
+                     loss.lost()};
+  }
+
+  std::printf("%-10s %12s %10s %12s %12s\n", "medium", "rate Mb/s", "std", "jitter ms",
+              "lost pkts");
+  const auto row = [](const char* name, const StreamResult& r) {
+    std::printf("%-10s %12.1f %10.2f %12.2f %12llu\n", name, r.mean_mbps, r.std_mbps,
+                r.jitter_ms, static_cast<unsigned long long>(r.late_or_lost));
+  };
+  row("WiFi", wifi);
+  row("PLC", plc);
+  row("Hybrid", hybrid_result);
+  std::printf("\n(the paper's point: at short range WiFi may be faster on "
+              "average, but PLC's per-carrier adaptation gives far lower "
+              "variance — what a constant-rate stream actually needs; the "
+              "hybrid keeps the stream whole even when one medium dips)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: bring up the 19-station testbed, saturate one PLC link, and
+// read the two IEEE 1905 link metrics the library is built around — BLE
+// (capacity) and PBerr (loss) — then compare with WiFi on the same pair.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/capacity.hpp"
+#include "src/testbed/experiment.hpp"
+
+int main() {
+  efd::sim::Simulator sim;
+  efd::testbed::Testbed tb(sim);
+
+  // Fast-forward to a weekday afternoon so the office appliances are on.
+  sim.run_until(efd::testbed::weekday_afternoon());
+
+  const efd::net::StationId src = 11;
+  const efd::net::StationId dst = 9;
+
+  std::printf("== Electri-Fi quickstart: link %d -> %d ==\n", src, dst);
+
+  // 1. Saturate the PLC link for 30 s and measure UDP throughput.
+  const auto plc = efd::testbed::measure_plc_throughput(tb, src, dst,
+                                                        efd::sim::seconds(30));
+  std::printf("PLC  throughput: %6.1f Mb/s  (std %.1f)\n", plc.mean_mbps,
+              plc.std_mbps);
+
+  // 2. Read the link metrics via management messages (int6krate/ampstat).
+  auto& network = tb.plc_network_of(src);
+  efd::core::MmPoller poller(network, src, dst);
+  const double ble = poller.average_ble_mbps(sim.now());
+  const double pberr = poller.pberr(sim.now());
+  std::printf("PLC  BLE:        %6.1f Mb/s   PBerr: %.4f\n", ble, pberr);
+
+  // 3. Predict capacity from BLE with the paper's linear fit (Fig. 15).
+  efd::core::BleCapacityEstimator estimator;
+  std::printf("PLC  predicted:  %6.1f Mb/s  (from BLE)\n",
+              estimator.throughput_from_ble(ble));
+
+  // 4. Same pair over WiFi.
+  const auto wifi = efd::testbed::measure_wifi_throughput(tb, src, dst,
+                                                          efd::sim::seconds(30));
+  std::printf("WiFi throughput: %6.1f Mb/s  (std %.1f)\n", wifi.mean_mbps,
+              wifi.std_mbps);
+
+  std::printf("\nfloor distance: %.1f m, cable distance: %.1f m\n",
+              tb.floor_distance_m(src, dst),
+              tb.plc_channel().cable_distance(src, dst));
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "src/core/capacity.hpp"
+
+namespace efd::core {
+
+void MmPoller::refresh(sim::Time now) {
+  if (have_ && now - last_ < kMinInterval) return;
+  ble_ = network_.mm_average_ble(tx_, rx_);
+  pberr_ = network_.mm_pberr(tx_, rx_);
+  last_ = now;
+  have_ = true;
+  ++mm_count_;
+}
+
+double MmPoller::average_ble_mbps(sim::Time now) {
+  refresh(now);
+  return ble_;
+}
+
+double MmPoller::pberr(sim::Time now) {
+  refresh(now);
+  return pberr_;
+}
+
+}  // namespace efd::core

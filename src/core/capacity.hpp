@@ -1,0 +1,71 @@
+#pragma once
+
+#include "src/plc/network.hpp"
+#include "src/sim/time.hpp"
+
+namespace efd::core {
+
+/// BLE-based capacity estimation (paper §7). BLE is carried in every SoF
+/// delimiter and reported by management messages; the paper shows it is a
+/// linear predictor of saturated UDP throughput: BLE = 1.7 * T - 0.65
+/// (Fig. 15), so T ≈ (BLE + 0.65) / 1.7. These defaults can be re-fitted
+/// with `fit` against measurements (the Fig. 15 bench does exactly that).
+class BleCapacityEstimator {
+ public:
+  struct Fit {
+    double slope = 1.7;       ///< BLE per unit of throughput
+    double intercept = -0.65; ///< Mb/s
+  };
+
+  BleCapacityEstimator() = default;
+  explicit BleCapacityEstimator(Fit fit) : fit_(fit) {}
+
+  /// Achievable UDP throughput predicted from an average BLE (Mb/s).
+  [[nodiscard]] double throughput_from_ble(double ble_mbps) const {
+    const double t = (ble_mbps - fit_.intercept) / fit_.slope;
+    return t > 0.0 ? t : 0.0;
+  }
+
+  [[nodiscard]] double ble_from_throughput(double throughput_mbps) const {
+    return fit_.slope * throughput_mbps + fit_.intercept;
+  }
+
+  [[nodiscard]] const Fit& fit() const { return fit_; }
+
+ private:
+  Fit fit_;
+};
+
+/// Rate-limited management-message poller for a directed PLC link — the
+/// paper's `int6krate`/`ampstat` workflow. MMs can be issued at most once
+/// per 50 ms (§6.2: "the fastest rate at which we can currently send MMs to
+/// the PLC chip"); faster queries return the cached value.
+class MmPoller {
+ public:
+  static constexpr sim::Time kMinInterval = sim::milliseconds(50);
+
+  MmPoller(plc::PlcNetwork& network, net::StationId tx, net::StationId rx)
+      : network_(network), tx_(tx), rx_(rx) {}
+
+  /// Average BLE over the 6 tone-map slots (`int6krate`).
+  [[nodiscard]] double average_ble_mbps(sim::Time now);
+
+  /// Smoothed PB error rate (`ampstat`).
+  [[nodiscard]] double pberr(sim::Time now);
+
+  [[nodiscard]] std::uint64_t mm_count() const { return mm_count_; }
+
+ private:
+  void refresh(sim::Time now);
+
+  plc::PlcNetwork& network_;
+  net::StationId tx_;
+  net::StationId rx_;
+  bool have_ = false;
+  sim::Time last_{};
+  double ble_ = 0.0;
+  double pberr_ = 0.0;
+  std::uint64_t mm_count_ = 0;
+};
+
+}  // namespace efd::core

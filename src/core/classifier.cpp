@@ -1,0 +1,2 @@
+// LinkQualityClassifier is header-only.
+#include "src/core/classifier.hpp"

@@ -1,0 +1,23 @@
+#include "src/core/etx.hpp"
+
+#include <algorithm>
+
+namespace efd::core {
+
+double predicted_u_etx(double pberr, int pbs_per_packet) {
+  const double p = std::clamp(pberr, 0.0, 0.999);
+  // With selective PB retransmission, a packet of n PBs completes when its
+  // slowest PB completes; PB completion is geometric with success 1 - p.
+  // E[max of n geometrics] = sum_{k>=0} (1 - (1 - p^k)^n).
+  double expected = 0.0;
+  double pk = 1.0;  // p^k
+  for (int k = 0; k < 10000; ++k) {
+    const double term = 1.0 - std::pow(1.0 - pk, pbs_per_packet);
+    expected += term;
+    if (term < 1e-9) break;
+    pk *= p;
+  }
+  return expected;
+}
+
+}  // namespace efd::core

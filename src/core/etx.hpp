@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/sof_capture.hpp"
+#include "src/net/meters.hpp"
+
+namespace efd::core {
+
+/// Expected transmission count metrics for PLC (paper §8.1).
+///
+/// Broadcast ETX — the classic formulation (De Couto et al., used by the
+/// works the paper cites [7], [8]) — counts broadcast probe losses. The
+/// paper shows it is *noisy and misleading* on PLC: broadcast frames ride
+/// the most robust (ROBO) modulation, so a wide range of link qualities see
+/// ~1e-4 loss and ETX reads as ~1.
+struct BroadcastEtx {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+
+  [[nodiscard]] double loss_rate() const {
+    if (sent == 0) return 0.0;
+    const auto lost = sent > received ? sent - received : 0;
+    return static_cast<double>(lost) / static_cast<double>(sent);
+  }
+
+  /// ETX = 1 / (delivery ratio); infinity-free (capped) for fully dead links.
+  [[nodiscard]] double etx() const {
+    const double d = 1.0 - loss_rate();
+    return d > 1e-6 ? 1.0 / d : 1e6;
+  }
+};
+
+/// Unicast ETX (U-ETX, §8.1): the average number of transmissions a packet
+/// needs on the real (tone-mapped) link, recovered from sniffed SoF
+/// timestamps with the 10 ms retransmission heuristic. Unlike broadcast
+/// ETX, U-ETX reflects true link quality and correlates almost linearly
+/// with PBerr (Fig. 22).
+class UnicastEtxEstimator {
+ public:
+  explicit UnicastEtxEstimator(sim::Time retx_window = sim::milliseconds(10))
+      : analysis_{retx_window} {}
+
+  [[nodiscard]] RetransmissionAnalysis::Result analyze(
+      const std::vector<plc::SofRecord>& link_records) const {
+    return analysis_.analyze(link_records);
+  }
+
+ private:
+  RetransmissionAnalysis analysis_;
+};
+
+/// Closed-form U-ETX prediction from PBerr for an n-PB packet: the packet
+/// needs a retransmission whenever at least one of its PBs fails, and
+/// transmissions repeat (selectively) until every PB has made it. This is
+/// the model the paper validates empirically in Fig. 22.
+[[nodiscard]] double predicted_u_etx(double pberr, int pbs_per_packet);
+
+}  // namespace efd::core

@@ -1,0 +1,36 @@
+#include "src/core/guidelines.hpp"
+
+namespace efd::core {
+
+namespace {
+constexpr Guideline kGuidelines[] = {
+    {"Metrics",
+     "Use BLE and PBerr, the quantities IEEE 1901 itself defines.", "7, 8.1"},
+    {"Unicast probing only",
+     "Broadcast probes ride the ROBO modulation and carry no information "
+     "about real link quality.",
+     "8.1"},
+    {"Shortest time-scale",
+     "Average BLE over the mains cycle (all tone-map slots).", "6.1"},
+    {"Size of probes",
+     "Send probes larger than one PB / one OFDM symbol, or the rate "
+     "adaptation converges to the single-symbol rate.",
+     "7.2"},
+    {"Frequency of probes",
+     "Adapt the probing interval to link quality: good links change slowly "
+     "and can be probed an order of magnitude less often.",
+     "6.2, 6.3, 7.3"},
+    {"Burstiness of probes",
+     "Probe in bursts that aggregate into full-length frames to avoid "
+     "capture-effect pollution of BLE under background traffic.",
+     "7.2, 8.2"},
+    {"Asymmetry in probing",
+     "Estimate metrics in both directions: PLC links are asymmetric in "
+     "both average quality and temporal variability.",
+     "5, 6.2"},
+};
+}  // namespace
+
+std::span<const Guideline> guidelines() { return kGuidelines; }
+
+}  // namespace efd::core

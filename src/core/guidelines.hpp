@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace efd::core {
+
+/// One row of the paper's Table 3: the link-metric estimation guidelines
+/// distilled from the whole study. Exposed programmatically so hybrid
+/// controllers can surface them in diagnostics.
+struct Guideline {
+  std::string_view policy;
+  std::string_view guideline;
+  std::string_view paper_section;
+};
+
+/// The complete Table 3 of the paper.
+[[nodiscard]] std::span<const Guideline> guidelines();
+
+}  // namespace efd::core

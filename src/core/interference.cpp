@@ -1,0 +1,31 @@
+#include "src/core/interference.hpp"
+
+#include <algorithm>
+
+namespace efd::core {
+
+void InterferenceDetector::on_sample(double ble_mbps, double pberr, sim::Time) {
+  // Track the recent best BLE with a slow leak, so a genuine long-term
+  // channel degradation eventually stops reading as "decline".
+  ble_peak_ = std::max(ble_mbps, ble_peak_ * 0.995);
+
+  const bool errors_persist = pberr > cfg_.pberr_floor;
+  const bool ble_declined =
+      ble_peak_ > 0.0 && ble_mbps < (1.0 - cfg_.ble_decline) * ble_peak_;
+  if (errors_persist && ble_declined) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+  }
+  suspected_ = streak_ >= cfg_.confirm_samples;
+  if (suspected_) ++flagged_;
+}
+
+void InterferenceDetector::reset() {
+  ble_peak_ = 0.0;
+  streak_ = 0;
+  suspected_ = false;
+  flagged_ = 0;
+}
+
+}  // namespace efd::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.hpp"
+
+namespace efd::core {
+
+/// Interference indicator — the extension the paper sketches in §8.2:
+/// "PBerr can be used ... to indicate interference in PLC" but "estimating
+/// the amount of interference is challenging". The detector works on the
+/// signature the paper identifies: under capture-effect contention the
+/// *measured* PB error rate (ampstat) explodes while the tone map was built
+/// for a channel that, between collisions, is fine — so errors are bursty
+/// and correlated with a BLE *decline* rather than with any channel change.
+///
+/// Feed it the periodic MM readings (BLE + PBerr); it flags sustained
+/// error pressure that channel adaptation fails to cure — which on a
+/// tone-mapped link means the errors are not channel errors.
+class InterferenceDetector {
+ public:
+  struct Config {
+    /// Sustained measured PBerr above this is suspicious: the estimator
+    /// would have retuned away genuine channel errors (IEEE 1901 tone maps
+    /// target residual error rates well below this).
+    double pberr_floor = 0.02;
+    /// Number of consecutive suspicious samples before flagging.
+    int confirm_samples = 3;
+    /// Fractional BLE decline (from the window's maximum) that corroborates
+    /// the collision signature.
+    double ble_decline = 0.10;
+  };
+
+  InterferenceDetector() : InterferenceDetector(Config{}) {}
+  explicit InterferenceDetector(Config config) : cfg_(config) {}
+
+  /// Feed one MM sample (average BLE + measured PBerr).
+  void on_sample(double ble_mbps, double pberr, sim::Time now);
+
+  /// True while the collision signature is present.
+  [[nodiscard]] bool interference_suspected() const { return suspected_; }
+
+  /// Samples flagged so far (diagnostic).
+  [[nodiscard]] std::uint64_t flagged_samples() const { return flagged_; }
+
+  /// Reset the detection state (e.g. after a route change).
+  void reset();
+
+ private:
+  Config cfg_;
+  double ble_peak_ = 0.0;
+  int streak_ = 0;
+  bool suspected_ = false;
+  std::uint64_t flagged_ = 0;
+};
+
+}  // namespace efd::core

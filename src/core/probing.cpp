@@ -1,0 +1,52 @@
+#include "src/core/probing.hpp"
+
+#include <cmath>
+
+namespace efd::core {
+
+sim::Time QualityAdaptivePolicy::interval(double average_ble_mbps) const {
+  switch (cfg_.classifier.classify(average_ble_mbps)) {
+    case LinkQuality::kBad: return cfg_.base;
+    case LinkQuality::kAverage: return cfg_.base * cfg_.average_factor;
+    case LinkQuality::kGood: return cfg_.base * cfg_.good_factor;
+  }
+  return cfg_.base;
+}
+
+double ProbingEvaluation::mean_error() const {
+  if (errors_mbps.empty()) return 0.0;
+  double sum = 0.0;
+  for (double e : errors_mbps) sum += e;
+  return sum / static_cast<double>(errors_mbps.size());
+}
+
+ProbingEvaluation evaluate_policy(const std::vector<BleSample>& trace,
+                                  const ProbingPolicy& policy) {
+  ProbingEvaluation eval;
+  if (trace.empty()) return eval;
+
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const double estimate = trace[i].ble_mbps;
+    ++eval.probes;
+    const sim::Time next_probe = trace[i].t + policy.interval(estimate);
+    // Exact capacity over the blind window: mean of the trace samples from
+    // this probe (inclusive) until the next probe.
+    double sum = 0.0;
+    std::size_t n = 0;
+    std::size_t j = i;
+    while (j < trace.size() && trace[j].t < next_probe) {
+      sum += trace[j].ble_mbps;
+      ++n;
+      ++j;
+    }
+    if (n > 0) {
+      eval.errors_mbps.push_back(std::abs(estimate - sum / static_cast<double>(n)));
+    }
+    if (j == i) break;  // trace exhausted / zero-length interval guard
+    i = j;
+  }
+  return eval;
+}
+
+}  // namespace efd::core

@@ -1,0 +1,79 @@
+#include "src/core/sof_capture.hpp"
+
+#include "src/sim/stats.hpp"
+
+namespace efd::core {
+
+SofCapture::SofCapture(plc::PlcMedium& medium) : medium_(medium) {
+  sniffer_id_ = medium_.add_sniffer([this](const plc::SofRecord& rec) {
+    if (filtered_ && (rec.src != f_src_ || rec.dst != f_dst_)) return;
+    records_.push_back(rec);
+  });
+}
+
+SofCapture::~SofCapture() { medium_.remove_sniffer(sniffer_id_); }
+
+void SofCapture::filter(net::StationId src, net::StationId dst) {
+  filtered_ = true;
+  f_src_ = src;
+  f_dst_ = dst;
+}
+
+std::vector<plc::SofRecord> SofCapture::link_records(net::StationId src,
+                                                     net::StationId dst) const {
+  std::vector<plc::SofRecord> out;
+  for (const auto& r : records_) {
+    if (r.src == src && r.dst == dst) out.push_back(r);
+  }
+  return out;
+}
+
+double SofCapture::average_ble_mbps(net::StationId src, net::StationId dst,
+                                    int n) const {
+  double sum = 0.0;
+  int count = 0;
+  for (auto it = records_.rbegin(); it != records_.rend() && count < n; ++it) {
+    if (it->src != src || it->dst != dst) continue;
+    sum += it->ble_mbps;
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+double RetransmissionAnalysis::Result::u_etx() const {
+  if (tx_counts.empty()) return 0.0;
+  double sum = 0.0;
+  for (int c : tx_counts) sum += c;
+  return sum / static_cast<double>(tx_counts.size());
+}
+
+double RetransmissionAnalysis::Result::tx_count_stddev() const {
+  sim::RunningStats s;
+  for (int c : tx_counts) s.add(c);
+  return s.stddev();
+}
+
+RetransmissionAnalysis::Result RetransmissionAnalysis::analyze(
+    const std::vector<plc::SofRecord>& link_records) const {
+  Result result;
+  int current_count = 0;
+  bool any = false;
+  sim::Time last{};
+  for (const auto& r : link_records) {
+    const bool retx = any && (r.start - last) < retx_window;
+    if (retx) {
+      ++result.retransmissions;
+      ++current_count;
+    } else {
+      if (any) result.tx_counts.push_back(current_count);
+      ++result.new_transmissions;
+      current_count = 1;
+    }
+    last = r.start;
+    any = true;
+  }
+  if (any) result.tx_counts.push_back(current_count);
+  return result;
+}
+
+}  // namespace efd::core

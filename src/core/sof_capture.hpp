@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "src/plc/medium.hpp"
+
+namespace efd::core {
+
+/// Passive SoF-delimiter capture (Table 2: "arrival timestamp t" and
+/// "bit loading estimate BLE" are measured with the SoF delimiter). Attach
+/// to a PLC medium and filter per directed link.
+class SofCapture {
+ public:
+  /// Subscribes to the medium's sniffer feed. Records every SoF; use the
+  /// filtered accessors to study one link.
+  explicit SofCapture(plc::PlcMedium& medium);
+  SofCapture(const SofCapture&) = delete;
+  SofCapture& operator=(const SofCapture&) = delete;
+  /// Unregisters from the medium (the callback captures `this`).
+  ~SofCapture();
+
+  /// Restrict capture to one directed link (optional; saves memory on
+  /// long runs). Must be called before traffic starts.
+  void filter(net::StationId src, net::StationId dst);
+
+  [[nodiscard]] const std::vector<plc::SofRecord>& records() const { return records_; }
+
+  /// Records for a directed link, in capture order.
+  [[nodiscard]] std::vector<plc::SofRecord> link_records(net::StationId src,
+                                                         net::StationId dst) const;
+
+  /// Average BLE over the last `n` captured frames of a link — the paper's
+  /// Fig. 4 estimates capacity by averaging BLE over 50 packets.
+  [[nodiscard]] double average_ble_mbps(net::StationId src, net::StationId dst,
+                                        int n) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  plc::PlcMedium& medium_;
+  plc::PlcMedium::SnifferId sniffer_id_ = 0;
+  bool filtered_ = false;
+  net::StationId f_src_ = 0;
+  net::StationId f_dst_ = 0;
+  std::vector<plc::SofRecord> records_;
+};
+
+/// Splits a captured unicast probe stream into transmissions vs
+/// retransmissions using the paper's §8.1 heuristic: a frame arriving
+/// within `retx_window` of the previous frame on the same link is a
+/// retransmission (there is no retransmission flag in the PLC SoF).
+struct RetransmissionAnalysis {
+  sim::Time retx_window = sim::milliseconds(10);
+
+  struct Result {
+    std::uint64_t new_transmissions = 0;
+    std::uint64_t retransmissions = 0;
+    /// Per-packet transmission counts (1 = no retransmission needed).
+    std::vector<int> tx_counts;
+
+    [[nodiscard]] double u_etx() const;
+    [[nodiscard]] double tx_count_stddev() const;
+  };
+
+  [[nodiscard]] Result analyze(const std::vector<plc::SofRecord>& link_records) const;
+};
+
+}  // namespace efd::core

@@ -1,0 +1,65 @@
+#include "src/core/trace_io.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace efd::core {
+
+void write_ble_trace_csv(std::ostream& out, const std::vector<BleSample>& trace) {
+  out << "t_s,ble_mbps\n";
+  char line[64];
+  for (const BleSample& s : trace) {
+    std::snprintf(line, sizeof line, "%.6f,%.3f\n", s.t.seconds(), s.ble_mbps);
+    out << line;
+  }
+}
+
+std::vector<BleSample> read_ble_trace_csv(std::istream& in) {
+  std::vector<BleSample> trace;
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("t_s,ble_mbps", 0) != 0) {
+    throw std::runtime_error("ble trace csv: missing header");
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::runtime_error("ble trace csv: malformed line " +
+                               std::to_string(line_no));
+    }
+    try {
+      const double t = std::stod(line.substr(0, comma));
+      const double ble = std::stod(line.substr(comma + 1));
+      trace.push_back({sim::seconds(t), ble});
+    } catch (const std::exception&) {
+      throw std::runtime_error("ble trace csv: bad number on line " +
+                               std::to_string(line_no));
+    }
+  }
+  return trace;
+}
+
+void write_sof_records_csv(std::ostream& out,
+                           const std::vector<plc::SofRecord>& records) {
+  out << "t_start_s,t_end_s,src,dst,slot,ble_mbps,n_pbs,n_symbols,robo,sound,"
+         "bcast\n";
+  char line[160];
+  for (const plc::SofRecord& r : records) {
+    std::snprintf(line, sizeof line, "%.9f,%.9f,%d,%d,%d,%.3f,%d,%d,%d,%d,%d\n",
+                  r.start.seconds(), r.end.seconds(), r.src, r.dst, r.slot,
+                  r.ble_mbps, r.n_pbs, r.n_symbols, r.robo ? 1 : 0,
+                  r.sound ? 1 : 0, r.broadcast ? 1 : 0);
+    out << line;
+  }
+}
+
+std::string ble_trace_to_string(const std::vector<BleSample>& trace) {
+  std::ostringstream out;
+  write_ble_trace_csv(out, trace);
+  return out.str();
+}
+
+}  // namespace efd::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/probing.hpp"
+#include "src/plc/frame.hpp"
+
+namespace efd::core {
+
+/// CSV export/import for measurement traces — the interchange format the
+/// toolkit uses to hand data to plotting scripts (the paper's figures are
+/// exactly such traces). Columns use SI base units (seconds, Mb/s).
+
+/// Write a BLE trace: header `t_s,ble_mbps`.
+void write_ble_trace_csv(std::ostream& out, const std::vector<BleSample>& trace);
+
+/// Parse a BLE trace written by `write_ble_trace_csv`. Throws
+/// `std::runtime_error` on malformed input.
+[[nodiscard]] std::vector<BleSample> read_ble_trace_csv(std::istream& in);
+
+/// Write sniffer SoF records: header
+/// `t_start_s,t_end_s,src,dst,slot,ble_mbps,n_pbs,n_symbols,robo,sound,bcast`.
+void write_sof_records_csv(std::ostream& out,
+                           const std::vector<plc::SofRecord>& records);
+
+/// Convenience: render a trace to a string (tests, logging).
+[[nodiscard]] std::string ble_trace_to_string(const std::vector<BleSample>& trace);
+
+}  // namespace efd::core

@@ -1,0 +1,120 @@
+#include "src/grid/appliance.hpp"
+
+#include "src/grid/value_noise.hpp"
+
+namespace efd::grid {
+
+std::string to_string(ApplianceType t) {
+  switch (t) {
+    case ApplianceType::kLightBank: return "light-bank";
+    case ApplianceType::kWorkstation: return "workstation";
+    case ApplianceType::kMonitor: return "monitor";
+    case ApplianceType::kFridge: return "fridge";
+    case ApplianceType::kMicrowave: return "microwave";
+    case ApplianceType::kCoffeeMachine: return "coffee-machine";
+    case ApplianceType::kPrinter: return "printer";
+    case ApplianceType::kHvac: return "hvac";
+    case ApplianceType::kPhoneCharger: return "phone-charger";
+    case ApplianceType::kPassiveStub: return "passive-stub";
+  }
+  return "unknown";
+}
+
+Appliance make_appliance(ApplianceType type, int outlet, std::uint64_t seed) {
+  Appliance a;
+  a.type = type;
+  a.outlet = outlet;
+  a.seed = seed;
+  // Individual spread around the type presets below.
+  const double u0 = ValueNoise::hash01(seed, 100);
+  const double u1 = ValueNoise::hash01(seed, 101);
+  const double u2 = ValueNoise::hash01(seed, 102);
+
+  switch (type) {
+    case ApplianceType::kLightBank:
+      a.impedance_ohm = 40.0 + 40.0 * u0;
+      a.noise = {.base_db = 6.0, .sync_db = 5.0, .jitter_db = 1.5,
+                 .impulse_rate_hz = 0.0, .impulse_db = 8.0,
+                 .color_db_per_mhz = -0.10};
+      a.schedule = ActivitySchedule::office_lights();
+      a.notch_depth_db = 4.0 + 2.0 * u1;
+      break;
+    case ApplianceType::kWorkstation:
+      a.impedance_ohm = 60.0 + 80.0 * u0;
+      a.noise = {.base_db = 5.0, .sync_db = 4.0, .jitter_db = 2.5,
+                 .impulse_rate_hz = 0.02, .impulse_db = 10.0,
+                 .color_db_per_mhz = -0.08};
+      a.schedule = ActivitySchedule::workstation(seed);
+      a.notch_depth_db = 3.0 + 2.0 * u1;
+      break;
+    case ApplianceType::kMonitor:
+      a.impedance_ohm = 120.0 + 120.0 * u0;
+      a.noise = {.base_db = 3.0, .sync_db = 3.0, .jitter_db = 1.5,
+                 .impulse_rate_hz = 0.01, .impulse_db = 6.0,
+                 .color_db_per_mhz = -0.06};
+      a.schedule = ActivitySchedule::workstation(seed ^ 0xabcdULL);
+      a.notch_depth_db = 2.0 + 1.5 * u1;
+      break;
+    case ApplianceType::kFridge:
+      a.impedance_ohm = 25.0 + 25.0 * u0;
+      a.noise = {.base_db = 7.0, .sync_db = 6.0, .jitter_db = 3.0,
+                 .impulse_rate_hz = 0.005, .impulse_db = 14.0,
+                 .color_db_per_mhz = -0.12};
+      a.schedule = ActivitySchedule::duty_cycle(sim::minutes(12.0 + 8.0 * u2), 0.45, seed);
+      a.notch_depth_db = 5.0 + 3.0 * u1;
+      break;
+    case ApplianceType::kMicrowave:
+      a.impedance_ohm = 15.0 + 10.0 * u0;
+      a.noise = {.base_db = 12.0, .sync_db = 8.0, .jitter_db = 4.0,
+                 .impulse_rate_hz = 0.05, .impulse_db = 16.0,
+                 .color_db_per_mhz = -0.15};
+      a.schedule = ActivitySchedule::intermittent(0.6, sim::minutes(2), seed);
+      a.notch_depth_db = 6.0 + 3.0 * u1;
+      break;
+    case ApplianceType::kCoffeeMachine:
+      a.impedance_ohm = 30.0 + 20.0 * u0;
+      a.noise = {.base_db = 8.0, .sync_db = 5.0, .jitter_db = 3.0,
+                 .impulse_rate_hz = 0.03, .impulse_db = 12.0,
+                 .color_db_per_mhz = -0.10};
+      a.schedule = ActivitySchedule::intermittent(1.2, sim::minutes(4), seed);
+      a.notch_depth_db = 4.0 + 2.0 * u1;
+      break;
+    case ApplianceType::kPrinter:
+      a.impedance_ohm = 20.0 + 20.0 * u0;
+      a.noise = {.base_db = 6.0, .sync_db = 4.0, .jitter_db = 3.5,
+                 .impulse_rate_hz = 0.08, .impulse_db = 18.0,
+                 .color_db_per_mhz = -0.10};
+      a.schedule = ActivitySchedule::intermittent(0.8, sim::minutes(3), seed);
+      a.notch_depth_db = 4.5 + 2.5 * u1;
+      break;
+    case ApplianceType::kHvac:
+      a.impedance_ohm = 35.0 + 30.0 * u0;
+      a.noise = {.base_db = 6.0, .sync_db = 5.0, .jitter_db = 2.0,
+                 .impulse_rate_hz = 0.002, .impulse_db = 10.0,
+                 .color_db_per_mhz = -0.08};
+      a.schedule = ActivitySchedule::duty_cycle(sim::minutes(30.0 + 20.0 * u2), 0.6, seed);
+      a.notch_depth_db = 3.5 + 2.0 * u1;
+      break;
+    case ApplianceType::kPhoneCharger:
+      a.impedance_ohm = 400.0 + 400.0 * u0;
+      a.noise = {.base_db = 2.0, .sync_db = 2.0, .jitter_db = 1.0,
+                 .impulse_rate_hz = 0.0, .impulse_db = 4.0,
+                 .color_db_per_mhz = -0.04};
+      a.schedule = ActivitySchedule::always_on();
+      a.notch_depth_db = 1.0 + 1.0 * u1;
+      break;
+    case ApplianceType::kPassiveStub:
+      // Open/short stub: strong mismatch, zero noise, always "on".
+      a.impedance_ohm = 4.0 + 8.0 * u0;
+      a.noise = {};
+      a.schedule = ActivitySchedule::always_on();
+      a.notch_depth_db = 16.0 + 12.0 * u1;
+      break;
+  }
+  // Branch-line delay in [0.05, 0.6] µs: reflections from a few meters to
+  // ~100 m of branch wiring; sets the notch spacing in frequency.
+  a.branch_delay_us = 0.05 + 0.55 * ValueNoise::hash01(seed, 103);
+  return a;
+}
+
+}  // namespace efd::grid

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/grid/schedule.hpp"
+
+namespace efd::grid {
+
+/// Categories of electrical loads found in an office building. Each category
+/// maps to a characteristic impedance and noise signature (the paper cites
+/// Guzelgoz et al. [9] for the time-frequency structure of load noise).
+enum class ApplianceType {
+  kLightBank,      // fluorescent lighting with electronic ballast
+  kWorkstation,    // PC + switched-mode power supply
+  kMonitor,
+  kFridge,         // compressor, duty-cycled
+  kMicrowave,
+  kCoffeeMachine,
+  kPrinter,        // laser printer: large impulsive loads when fusing
+  kHvac,           // fan-coil unit
+  kPhoneCharger,   // small SMPS, always plugged
+  /// Not a load at all: an unterminated branch line / wiring stub. Produces
+  /// static multipath notches around the clock but injects no noise — the
+  /// reason bad links stay bad at night (§6.2's night experiments still see
+  /// BLE in the tens of Mb/s on poor links).
+  kPassiveStub,
+};
+
+[[nodiscard]] std::string to_string(ApplianceType t);
+
+/// Noise a powered appliance injects into the line, decomposed the way the
+/// paper's §6 decomposes temporal variation:
+///  - a stationary colored floor (contributes to attenuation-side SNR),
+///  - a mains-synchronous component varying over the tone-map slots
+///    (invariance scale, paper Fig. 9),
+///  - a fast jitter term (cycle scale), and
+///  - impulse events (switching transients).
+struct NoiseProfile {
+  double base_db = 0.0;            ///< stationary injected noise (dB over floor)
+  double sync_db = 0.0;            ///< peak of the mains-synchronous component
+  double jitter_db = 0.0;          ///< amplitude of cycle-scale jitter
+  double impulse_rate_hz = 0.0;    ///< switching impulses per second
+  double impulse_db = 0.0;         ///< impulse magnitude
+  double color_db_per_mhz = 0.0;   ///< spectral tilt (low carriers noisier)
+};
+
+/// One electrical load plugged into an outlet of the grid.
+struct Appliance {
+  ApplianceType type = ApplianceType::kPhoneCharger;
+  int outlet = -1;                 ///< node index in the PowerGrid
+  double impedance_ohm = 1000.0;   ///< operating impedance (mismatch source)
+  NoiseProfile noise;
+  ActivitySchedule schedule;
+  std::uint64_t seed = 0;          ///< per-appliance stochastic stream
+
+  /// Multipath signature: a branch-line delay (µs) controlling where this
+  /// appliance's reflection notches fall in frequency, plus a notch depth.
+  double branch_delay_us = 0.1;
+  double notch_depth_db = 6.0;
+};
+
+/// Factory with calibrated per-type presets. `seed` individualizes the
+/// appliance's schedule phase, noise stream and branch-line signature.
+[[nodiscard]] Appliance make_appliance(ApplianceType type, int outlet, std::uint64_t seed);
+
+}  // namespace efd::grid

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "src/sim/time.hpp"
+
+namespace efd::grid {
+
+/// European mains: 50 Hz AC. HomePlug AV channel adaptation operates on the
+/// *half* cycle (10 ms) because noise is symmetric in the two half-waves; the
+/// standard splits the half cycle into tone-map slots (IEEE 1901 / paper §6).
+struct Mains {
+  static constexpr double kFrequencyHz = 50.0;
+  static constexpr sim::Time cycle() { return sim::milliseconds(1000.0 / kFrequencyHz); }
+  static constexpr sim::Time half_cycle() { return sim::Time{cycle().ns() / 2}; }
+
+  /// Phase within the half cycle in [0, 1).
+  static double half_cycle_phase(sim::Time t) {
+    const auto period = half_cycle().ns();
+    const auto r = t.ns() % period;
+    return static_cast<double>(r) / static_cast<double>(period);
+  }
+};
+
+}  // namespace efd::grid

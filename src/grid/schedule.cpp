@@ -1,0 +1,75 @@
+#include "src/grid/schedule.hpp"
+
+#include <cmath>
+
+#include "src/grid/value_noise.hpp"
+
+namespace efd::grid {
+
+ActivitySchedule ActivitySchedule::duty_cycle(sim::Time period, double duty,
+                                              std::uint64_t seed) {
+  ActivitySchedule s{Kind::kDutyCycle, seed};
+  s.period_ = period;
+  s.duty_ = duty;
+  return s;
+}
+
+ActivitySchedule ActivitySchedule::intermittent(double uses_per_hour,
+                                                sim::Time use_duration,
+                                                std::uint64_t seed) {
+  ActivitySchedule s{Kind::kIntermittent, seed};
+  s.uses_per_hour_ = uses_per_hour;
+  s.use_duration_ = use_duration;
+  return s;
+}
+
+bool ActivitySchedule::is_on(sim::Time t) const {
+  switch (kind_) {
+    case Kind::kAlwaysOn:
+      return true;
+
+    case Kind::kOfficeLights: {
+      if (Calendar::is_weekend(t)) return false;
+      const double h = Calendar::hour_of_day(t);
+      return h >= 7.5 && h < 21.0;
+    }
+
+    case Kind::kWorkstation: {
+      if (Calendar::is_weekend(t)) return false;
+      const int day = Calendar::day_index(t);
+      // Per-appliance, per-day arrival/departure jitter.
+      const double arrive = 8.0 + 2.0 * ValueNoise::hash01(seed_, day * 2);
+      const double leave = 16.5 + 3.0 * ValueNoise::hash01(seed_, day * 2 + 1);
+      const double h = Calendar::hour_of_day(t);
+      return h >= arrive && h < leave;
+    }
+
+    case Kind::kDutyCycle: {
+      // Per-appliance phase offset so fridges do not all cycle in lockstep.
+      const auto phase =
+          static_cast<std::int64_t>(ValueNoise::hash01(seed_, 0) *
+                                    static_cast<double>(period_.ns()));
+      const auto r = (t.ns() + phase) % period_.ns();
+      return static_cast<double>(r) <
+             duty_ * static_cast<double>(period_.ns());
+    }
+
+    case Kind::kIntermittent: {
+      const double h = Calendar::hour_of_day(t);
+      const bool working_hours = !Calendar::is_weekend(t) && h >= 8.0 && h < 19.0;
+      if (!working_hours) return false;
+      // Divide time into candidate-use windows; a window is active with
+      // probability uses_per_hour * window_hours, and within an active
+      // window the appliance runs for use_duration_ from the window start.
+      const auto window = sim::minutes(15);
+      const auto idx = t.ns() / window.ns();
+      const double p = uses_per_hour_ * (window.seconds() / 3600.0);
+      if (ValueNoise::hash01(seed_, idx) >= p) return false;
+      const auto offset = t.ns() % window.ns();
+      return offset < use_duration_.ns();
+    }
+  }
+  return false;
+}
+
+}  // namespace efd::grid

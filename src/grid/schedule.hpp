@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.hpp"
+
+namespace efd::grid {
+
+/// Day-of-week and time-of-day helpers. Simulation time zero is Monday 00:00.
+struct Calendar {
+  static int day_index(sim::Time t) { return static_cast<int>(t.ns() / sim::days(1).ns()); }
+  static bool is_weekend(sim::Time t) { return day_index(t) % 7 >= 5; }
+  /// Hours since midnight, in [0, 24).
+  static double hour_of_day(sim::Time t) {
+    const auto day_ns = sim::days(1).ns();
+    return static_cast<double>(t.ns() % day_ns) / static_cast<double>(sim::hours(1).ns());
+  }
+};
+
+/// When an appliance is powered. Deterministic function of time so that the
+/// whole grid state is reproducible and can be queried at any instant without
+/// simulating the schedule event-by-event.
+class ActivitySchedule {
+ public:
+  enum class Kind {
+    kAlwaysOn,
+    /// Office lighting: on 07:30-21:00 on weekdays; the building turns all
+    /// lights off at 21:00 sharp (the step visible in the paper's Fig. 12).
+    kOfficeLights,
+    /// A workstation/monitor: weekdays, with a per-appliance arrival offset
+    /// in [0,2) h after 08:00 and departure offset before/after 17:30.
+    kWorkstation,
+    /// Periodic duty cycle (fridge compressor, HVAC): fixed period and duty.
+    kDutyCycle,
+    /// Short random uses during working hours (microwave, coffee machine,
+    /// printer): deterministic pseudo-random bursts.
+    kIntermittent,
+  };
+
+  ActivitySchedule() = default;
+  ActivitySchedule(Kind kind, std::uint64_t seed) : kind_(kind), seed_(seed) {}
+
+  static ActivitySchedule always_on() { return {Kind::kAlwaysOn, 0}; }
+  static ActivitySchedule office_lights() { return {Kind::kOfficeLights, 0}; }
+  static ActivitySchedule workstation(std::uint64_t seed) { return {Kind::kWorkstation, seed}; }
+  static ActivitySchedule duty_cycle(sim::Time period, double duty, std::uint64_t seed);
+  static ActivitySchedule intermittent(double uses_per_hour, sim::Time use_duration,
+                                       std::uint64_t seed);
+
+  [[nodiscard]] bool is_on(sim::Time t) const;
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_ = Kind::kAlwaysOn;
+  std::uint64_t seed_ = 0;
+  sim::Time period_ = sim::minutes(10);
+  double duty_ = 0.5;
+  double uses_per_hour_ = 1.0;
+  sim::Time use_duration_ = sim::minutes(3);
+};
+
+}  // namespace efd::grid

@@ -1,0 +1,44 @@
+#include "src/grid/value_noise.hpp"
+
+#include <cmath>
+
+namespace efd::grid {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+double ValueNoise::hash01(std::uint64_t seed, std::int64_t n) {
+  const std::uint64_t h = mix(seed ^ mix(static_cast<std::uint64_t>(n)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double ValueNoise::sample(std::uint64_t seed, double x) {
+  const double fl = std::floor(x);
+  const auto n = static_cast<std::int64_t>(fl);
+  const double f = x - fl;
+  // Smoothstep interpolation keeps the derivative continuous at lattice points.
+  const double u = f * f * (3.0 - 2.0 * f);
+  const double a = 2.0 * hash01(seed, n) - 1.0;
+  const double b = 2.0 * hash01(seed, n + 1) - 1.0;
+  return a + (b - a) * u;
+}
+
+double ValueNoise::fractal(std::uint64_t seed, double x, int octaves) {
+  double sum = 0.0;
+  double amp = 0.5;
+  double freq = 1.0;
+  for (int i = 0; i < octaves; ++i) {
+    sum += amp * sample(seed + static_cast<std::uint64_t>(i) * 0x51ed2701ULL, x * freq);
+    freq *= 2.0;
+    amp *= 0.5;
+  }
+  return sum;
+}
+
+}  // namespace efd::grid

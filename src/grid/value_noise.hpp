@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+namespace efd::grid {
+
+/// Deterministic smooth value noise: hashes integer lattice points to
+/// uniform values in [-1, 1] and smoothstep-interpolates between them.
+/// Used for every stochastic-but-reproducible temporal process in the grid
+/// (noise-floor jitter, slow drift) so that a trace can be *queried* at any
+/// instant rather than generated sequentially.
+struct ValueNoise {
+  /// Noise value in [-1, 1] at coordinate `x` for stream `seed`.
+  static double sample(std::uint64_t seed, double x);
+
+  /// Sum of `octaves` octaves of value noise (fractal), still in ~[-1, 1].
+  static double fractal(std::uint64_t seed, double x, int octaves);
+
+  /// Uniform [0, 1) hash of (seed, n) — the lattice generator.
+  static double hash01(std::uint64_t seed, std::int64_t n);
+};
+
+}  // namespace efd::grid

@@ -1,0 +1,94 @@
+#include "src/hybrid/device.hpp"
+
+#include <cassert>
+
+namespace efd::hybrid {
+
+HybridDevice::HybridDevice(sim::Simulator& simulator,
+                           std::vector<net::Interface*> interfaces,
+                           std::unique_ptr<PacketScheduler> scheduler)
+    : sim_(simulator),
+      interfaces_(std::move(interfaces)),
+      scheduler_(std::move(scheduler)),
+      sent_(interfaces_.size(), 0) {
+  assert(!interfaces_.empty());
+}
+
+bool HybridDevice::enqueue(const net::Packet& p) {
+  const int i = scheduler_->pick(p);
+  assert(i >= 0 && i < static_cast<int>(interfaces_.size()));
+  ++sent_[static_cast<std::size_t>(i)];
+  return interfaces_[static_cast<std::size_t>(i)]->enqueue(p);
+}
+
+std::size_t HybridDevice::queue_length() const {
+  std::size_t total = 0;
+  for (const net::Interface* ifc : interfaces_) total += ifc->queue_length();
+  return total;
+}
+
+void HybridDevice::set_rx_handler(RxHandler handler) {
+  rx_ = std::move(handler);
+  reorder_ = std::make_unique<ReorderBuffer>(
+      sim_, [this](const net::Packet& p, sim::Time t) { rx_(p, t); });
+}
+
+void HybridDevice::start_receiving() {
+  assert(reorder_ && "set_rx_handler must be called first");
+  receiving_ = true;
+  for (net::Interface* ifc : interfaces_) {
+    ifc->set_rx_handler(
+        [this](const net::Packet& p, sim::Time t) { reorder_->on_packet(p, t); });
+  }
+}
+
+HybridDevice::~HybridDevice() {
+  if (!receiving_) return;
+  for (net::Interface* ifc : interfaces_) {
+    ifc->set_rx_handler([](const net::Packet&, sim::Time) {});
+  }
+}
+
+void HybridDevice::set_capacities(std::vector<double> capacities_mbps) {
+  assert(capacities_mbps.size() == interfaces_.size());
+  scheduler_->set_capacities(std::move(capacities_mbps));
+}
+
+RoundRobinSplitter::RoundRobinSplitter(sim::Simulator& simulator,
+                                       std::vector<net::Interface*> interfaces,
+                                       Config config)
+    : sim_(simulator), interfaces_(std::move(interfaces)), cfg_(config) {
+  assert(!interfaces_.empty());
+}
+
+bool RoundRobinSplitter::enqueue(const net::Packet& p) {
+  if (staged_.size() >= cfg_.stage_limit) return false;
+  staged_.push_back(p);
+  pump();
+  return true;
+}
+
+void RoundRobinSplitter::set_rx_handler(RxHandler handler) {
+  // Receiving is symmetric: hand the same upper-layer callback to every
+  // member interface (use a HybridDevice with a reorder buffer when
+  // in-order delivery matters).
+  for (net::Interface* ifc : interfaces_) ifc->set_rx_handler(handler);
+}
+
+void RoundRobinSplitter::pump() {
+  while (!staged_.empty()) {
+    net::Interface* target = interfaces_[next_];
+    if (target->queue_length() >= cfg_.watermark) {
+      // Head-of-line stall: strict alternation waits for *this* interface.
+      if (!retry_.pending()) {
+        retry_ = sim_.after(cfg_.retry, [this] { pump(); });
+      }
+      return;
+    }
+    target->enqueue(staged_.front());
+    staged_.pop_front();
+    next_ = (next_ + 1) % interfaces_.size();
+  }
+}
+
+}  // namespace efd::hybrid

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/hybrid/reorder.hpp"
+#include "src/hybrid/scheduler.hpp"
+#include "src/net/interface.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace efd::hybrid {
+
+/// A hybrid WiFi/PLC endpoint: one logical interface that fans packets out
+/// over the member interfaces according to a scheduler, with a matching
+/// re-sequencer at the destination device. This is the paper's Click-based
+/// bandwidth-aggregation shim (§7.4), sitting between IP and the MACs.
+///
+/// A `HybridDevice` acts as the *sending* half; attach the destination
+/// device's `receiver()` as the rx handler path by calling `bind_peer`.
+class HybridDevice final : public net::Interface {
+ public:
+  HybridDevice(sim::Simulator& simulator, std::vector<net::Interface*> interfaces,
+               std::unique_ptr<PacketScheduler> scheduler);
+  HybridDevice(const HybridDevice&) = delete;
+  HybridDevice& operator=(const HybridDevice&) = delete;
+  /// Unhooks the member interfaces' rx handlers (they capture `this` after
+  /// `start_receiving`), so the MACs can outlive the device safely.
+  ~HybridDevice() override;
+
+  // net::Interface — the sending side.
+  bool enqueue(const net::Packet& p) override;
+  [[nodiscard]] std::size_t queue_length() const override;
+  /// Registers the upper-layer delivery callback at the *receiving* device;
+  /// packets pass through the reorder buffer first.
+  void set_rx_handler(RxHandler handler) override;
+
+  /// Feed fresh capacity estimates to the scheduler (Mb/s, one per member
+  /// interface, in construction order).
+  void set_capacities(std::vector<double> capacities_mbps);
+
+  /// Wire this device to receive from its member interfaces (call once on
+  /// the destination-side device).
+  void start_receiving();
+
+  [[nodiscard]] const ReorderBuffer& reorder() const { return *reorder_; }
+  [[nodiscard]] std::uint64_t sent_per_interface(int i) const {
+    return sent_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<net::Interface*> interfaces_;
+  std::unique_ptr<PacketScheduler> scheduler_;
+  std::unique_ptr<ReorderBuffer> reorder_;
+  RxHandler rx_;
+  std::vector<std::uint64_t> sent_;
+  bool receiving_ = false;
+};
+
+/// The paper's round-robin baseline (§7.4, Fig. 20), with the blocking
+/// semantics of a Click pull path: packets leave a small staging queue in
+/// strict alternation, and when the next interface in turn is full the
+/// *whole* splitter stalls — head-of-line blocking. That is why round-robin
+/// throughput is capped at twice the slower medium's capacity.
+class RoundRobinSplitter final : public net::Interface {
+ public:
+  struct Config {
+    std::size_t stage_limit = 128;   ///< staging queue bound (packets)
+    std::size_t watermark = 40;      ///< per-interface queue high watermark
+    sim::Time retry = sim::microseconds(500);
+  };
+
+  RoundRobinSplitter(sim::Simulator& simulator, std::vector<net::Interface*> interfaces,
+                     Config config);
+  RoundRobinSplitter(sim::Simulator& simulator, std::vector<net::Interface*> interfaces)
+      : RoundRobinSplitter(simulator, std::move(interfaces), Config{}) {}
+  RoundRobinSplitter(const RoundRobinSplitter&) = delete;
+  RoundRobinSplitter& operator=(const RoundRobinSplitter&) = delete;
+  ~RoundRobinSplitter() override { retry_.cancel(); }
+
+  bool enqueue(const net::Packet& p) override;
+  [[nodiscard]] std::size_t queue_length() const override { return staged_.size(); }
+  void set_rx_handler(RxHandler handler) override;
+
+ private:
+  void pump();
+
+  sim::Simulator& sim_;
+  std::vector<net::Interface*> interfaces_;
+  Config cfg_;
+  std::deque<net::Packet> staged_;
+  std::size_t next_ = 0;
+  sim::EventHandle retry_;
+};
+
+}  // namespace efd::hybrid

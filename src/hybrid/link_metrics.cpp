@@ -1,0 +1,43 @@
+#include "src/hybrid/link_metrics.hpp"
+
+namespace efd::hybrid {
+
+std::string to_string(Medium m) {
+  switch (m) {
+    case Medium::kPlc: return "plc";
+    case Medium::kWifi: return "wifi";
+  }
+  return "unknown";
+}
+
+void LinkMetricTable::update(net::StationId src, net::StationId dst, Medium medium,
+                             LinkMetric metric) {
+  table_[{src, dst, medium}] = metric;
+}
+
+std::optional<LinkMetric> LinkMetricTable::get(net::StationId src, net::StationId dst,
+                                               Medium medium) const {
+  const auto it = table_.find({src, dst, medium});
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+double LinkMetricTable::fresh_capacity_mbps(net::StationId src, net::StationId dst,
+                                            Medium medium, sim::Time now,
+                                            sim::Time max_age) const {
+  const auto m = get(src, dst, medium);
+  if (!m) return 0.0;
+  if (now - m->updated > max_age) return 0.0;
+  return m->capacity_mbps;
+}
+
+std::vector<LinkMetricTable::Entry> LinkMetricTable::entries() const {
+  std::vector<Entry> out;
+  out.reserve(table_.size());
+  for (const auto& [key, metric] : table_) {
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key), metric});
+  }
+  return out;
+}
+
+}  // namespace efd::hybrid

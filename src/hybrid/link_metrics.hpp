@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.hpp"
+#include "src/sim/time.hpp"
+
+namespace efd::hybrid {
+
+/// The medium a link runs over, in the sense of the IEEE 1905 abstraction
+/// layer the paper targets (§1, §4.3).
+enum class Medium { kPlc, kWifi };
+
+[[nodiscard]] std::string to_string(Medium m);
+
+/// The two link metrics IEEE 1905 requires (§1): capacity (PHY rate) and
+/// packet-error related loss. Every entry records when it was estimated —
+/// staleness is the central tension of the paper's §6-§7 probing study.
+struct LinkMetric {
+  double capacity_mbps = 0.0;
+  double loss_rate = 0.0;
+  sim::Time updated{};
+};
+
+/// Directed per-medium link-metric table, as an IEEE 1905 abstraction-layer
+/// entity would maintain it from the technology-specific estimators.
+class LinkMetricTable {
+ public:
+  void update(net::StationId src, net::StationId dst, Medium medium,
+              LinkMetric metric);
+
+  [[nodiscard]] std::optional<LinkMetric> get(net::StationId src, net::StationId dst,
+                                              Medium medium) const;
+
+  /// Capacity if known and fresh (younger than `max_age`), otherwise 0.
+  [[nodiscard]] double fresh_capacity_mbps(net::StationId src, net::StationId dst,
+                                           Medium medium, sim::Time now,
+                                           sim::Time max_age) const;
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  struct Entry {
+    net::StationId src;
+    net::StationId dst;
+    Medium medium;
+    LinkMetric metric;
+  };
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+ private:
+  using Key = std::tuple<net::StationId, net::StationId, Medium>;
+  std::map<Key, LinkMetric> table_;
+};
+
+}  // namespace efd::hybrid

@@ -1,0 +1,101 @@
+#include "src/hybrid/reorder.hpp"
+
+#include <utility>
+
+namespace efd::hybrid {
+
+ReorderBuffer::ReorderBuffer(sim::Simulator& simulator,
+                             net::Interface::RxHandler deliver, Config config)
+    : sim_(simulator), deliver_(std::move(deliver)), cfg_(config) {}
+
+void ReorderBuffer::on_packet(const net::Packet& p, sim::Time now) {
+  if (!started_) {
+    // Warm-up: the first packets of a split flow can arrive out of order
+    // (the flow's true first sequence may be in flight on the slower
+    // medium), so buffer for one hold period before locking onto a start.
+    started_ = true;
+    warmup_ = true;
+    blocked_ = true;
+    block_start_ = now;
+    buffer_.emplace(p.seq, p);
+    arm_timeout();
+    return;
+  }
+  if (warmup_) {
+    buffer_.emplace(p.seq, p);
+    overflow_valve();
+    return;
+  }
+  if (p.seq < next_seq_) {
+    deliver_(p, now);  // late straggler: release immediately, keep order state
+    return;
+  }
+  buffer_.emplace(p.seq, p);
+  const std::uint32_t before = next_seq_;
+  drain();
+  if (buffer_.empty()) {
+    blocked_ = false;
+    return;
+  }
+  // A (possibly new) gap blocks the head. The hold timer measures how long
+  // *this* gap has been blocking, so it restarts whenever progress is made.
+  if (!blocked_ || next_seq_ != before) {
+    blocked_ = true;
+    block_start_ = now;
+  }
+  arm_timeout();
+  overflow_valve();
+}
+
+void ReorderBuffer::overflow_valve() {
+  // A burst of losses must not hold memory hostage.
+  if (buffer_.size() <= cfg_.max_buffered) return;
+  warmup_ = false;
+  next_seq_ = buffer_.begin()->first;
+  drain();
+  if (buffer_.empty()) blocked_ = false;
+}
+
+void ReorderBuffer::drain() {
+  auto it = buffer_.begin();
+  while (it != buffer_.end() && it->first == next_seq_) {
+    deliver_(it->second, sim_.now());
+    it = buffer_.erase(it);
+    ++next_seq_;
+  }
+}
+
+void ReorderBuffer::arm_timeout() {
+  if (timeout_.pending()) return;
+  const sim::Time waited = sim_.now() - block_start_;
+  const sim::Time remaining =
+      waited < cfg_.hold_timeout ? cfg_.hold_timeout - waited : sim::Time{};
+  timeout_ = sim_.after(remaining, [this] { on_timeout(); });
+}
+
+void ReorderBuffer::on_timeout() {
+  if (buffer_.empty()) {
+    blocked_ = false;
+    warmup_ = false;
+    return;
+  }
+  if (!warmup_ && sim_.now() - block_start_ < cfg_.hold_timeout) {
+    // Progress was made since this timer was armed; wait out the remainder
+    // of the *current* gap's budget.
+    arm_timeout();
+    return;
+  }
+  // Warm-up over, or a gap timed out: (re)lock onto the earliest sequence.
+  if (!warmup_) ++timeouts_;
+  warmup_ = false;
+  next_seq_ = buffer_.begin()->first;
+  drain();
+  if (!buffer_.empty()) {
+    block_start_ = sim_.now();
+    arm_timeout();
+  } else {
+    blocked_ = false;
+  }
+}
+
+}  // namespace efd::hybrid

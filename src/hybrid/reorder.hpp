@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/net/interface.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace efd::hybrid {
+
+/// Destination-side packet re-sequencer: packets of one flow fan out over
+/// two mediums with different latencies and arrive out of order; this
+/// buffer releases them by the IP identification sequence, with a timeout
+/// so a loss on one medium cannot stall the flow (§7.4's "simple algorithm
+/// that checks the identification sequence of the IP header").
+class ReorderBuffer {
+ public:
+  struct Config {
+    sim::Time hold_timeout = sim::milliseconds(40);
+    std::size_t max_buffered = 2048;
+  };
+
+  ReorderBuffer(sim::Simulator& simulator, net::Interface::RxHandler deliver,
+                Config config);
+  ReorderBuffer(sim::Simulator& simulator, net::Interface::RxHandler deliver)
+      : ReorderBuffer(simulator, std::move(deliver), Config{}) {}
+  ReorderBuffer(const ReorderBuffer&) = delete;
+  ReorderBuffer& operator=(const ReorderBuffer&) = delete;
+  /// Disarms the pending hold timer — its callback captures `this`.
+  ~ReorderBuffer() { timeout_.cancel(); }
+
+  /// Feed a packet arriving from either interface.
+  void on_packet(const net::Packet& p, sim::Time now);
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  void drain();
+  void arm_timeout();
+  void on_timeout();
+  void overflow_valve();
+
+  sim::Simulator& sim_;
+  net::Interface::RxHandler deliver_;
+  Config cfg_;
+  std::map<std::uint32_t, net::Packet> buffer_;
+  std::uint32_t next_seq_ = 0;
+  bool started_ = false;
+  bool warmup_ = false;        ///< buffering before locking a start sequence
+  bool blocked_ = false;       ///< a gap is currently blocking the head
+  sim::Time block_start_{};    ///< when the current gap started blocking
+  sim::EventHandle timeout_;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace efd::hybrid

@@ -1,0 +1,121 @@
+#include "src/hybrid/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace efd::hybrid {
+
+namespace {
+constexpr double kDeadMs = 1e9;
+}  // namespace
+
+double expected_transmission_time_ms(const LinkMetric& metric,
+                                     std::size_t packet_bytes) {
+  if (metric.capacity_mbps <= 0.0) return kDeadMs;
+  const double delivery = 1.0 - std::clamp(metric.loss_rate, 0.0, 0.999);
+  const double etx = 1.0 / delivery;
+  const double airtime_ms =
+      static_cast<double>(packet_bytes) * 8.0 / (metric.capacity_mbps * 1e3);
+  return etx * airtime_ms;
+}
+
+std::vector<Hop> MeshRouter::route(net::StationId src, net::StationId dst,
+                                   sim::Time now) const {
+  if (src == dst) return {};
+
+  // Collect fresh edges and the node set.
+  struct Edge {
+    net::StationId to;
+    Medium medium;
+    double ett_ms;
+  };
+  std::map<net::StationId, std::vector<Edge>> adjacency;
+  for (const auto& e : table_.entries()) {
+    if (now - e.metric.updated > cfg_.metric_max_age) continue;
+    const double ett = expected_transmission_time_ms(e.metric, cfg_.packet_bytes);
+    if (ett >= kDeadMs) continue;
+    adjacency[e.src].push_back({e.dst, e.medium, ett});
+  }
+
+  // Dijkstra over (station, last-hop medium) states so the alternation
+  // discount composes correctly along the path.
+  struct State {
+    net::StationId node;
+    int last_medium;  // -1 at the source
+    int hops;
+  };
+  using Key = std::pair<net::StationId, int>;
+  std::map<Key, double> best;
+  std::map<Key, std::pair<Key, Medium>> parent;
+  using QItem = std::pair<double, State>;
+  const auto cmp = [](const QItem& a, const QItem& b) { return a.first > b.first; };
+  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> queue(cmp);
+
+  best[{src, -1}] = 0.0;
+  queue.push({0.0, {src, -1, 0}});
+  Key goal{-1, -1};
+  double goal_cost = std::numeric_limits<double>::infinity();
+
+  while (!queue.empty()) {
+    const auto [cost, state] = queue.top();
+    queue.pop();
+    const Key key{state.node, state.last_medium};
+    const auto it = best.find(key);
+    if (it == best.end() || cost > it->second) continue;  // stale entry
+    if (state.node == dst) {
+      if (cost < goal_cost) {
+        goal_cost = cost;
+        goal = key;
+      }
+      continue;
+    }
+    if (state.hops >= cfg_.max_hops) continue;
+    const auto adj = adjacency.find(state.node);
+    if (adj == adjacency.end()) continue;
+    for (const Edge& edge : adj->second) {
+      double hop_cost = edge.ett_ms;
+      if (state.last_medium >= 0 &&
+          state.last_medium != static_cast<int>(edge.medium)) {
+        hop_cost *= cfg_.alternation_discount;
+      }
+      const Key next{edge.to, static_cast<int>(edge.medium)};
+      const double next_cost = cost + hop_cost;
+      const auto bit = best.find(next);
+      if (bit == best.end() || next_cost < bit->second) {
+        best[next] = next_cost;
+        parent[next] = {key, edge.medium};
+        queue.push({next_cost, {edge.to, static_cast<int>(edge.medium),
+                                state.hops + 1}});
+      }
+    }
+  }
+
+  if (goal.first == -1) return {};
+  // Walk parents back to the source.
+  std::vector<Hop> path;
+  Key cur = goal;
+  while (cur.first != src || cur.second != -1) {
+    const auto pit = parent.find(cur);
+    if (pit == parent.end()) break;
+    const auto& [prev, medium] = pit->second;
+    path.push_back({prev.first, cur.first, medium});
+    cur = prev;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double MeshRouter::path_ett_ms(const std::vector<Hop>& path, sim::Time now) const {
+  double total = 0.0;
+  for (const Hop& hop : path) {
+    const auto metric = table_.get(hop.from, hop.to, hop.medium);
+    if (!metric || now - metric->updated > cfg_.metric_max_age) return kDeadMs;
+    total += expected_transmission_time_ms(*metric, cfg_.packet_bytes);
+  }
+  return total;
+}
+
+}  // namespace efd::hybrid

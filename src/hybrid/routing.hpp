@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "src/hybrid/link_metrics.hpp"
+
+namespace efd::hybrid {
+
+/// Expected transmission time (ETT, Draves et al. [8], which the paper's
+/// §4.3 names as the metric hybrid routing needs): the expected airtime to
+/// push `packet_bytes` across the link, accounting for retransmissions.
+/// Returns milliseconds; infinity-like (1e9) for dead links.
+[[nodiscard]] double expected_transmission_time_ms(const LinkMetric& metric,
+                                                   std::size_t packet_bytes);
+
+/// One hop of a hybrid route: which station forwards to which, over which
+/// medium.
+struct Hop {
+  net::StationId from = 0;
+  net::StationId to = 0;
+  Medium medium = Medium::kPlc;
+};
+
+/// Minimum-ETT routing over the hybrid link-metric table — the mesh
+/// forwarding the paper's §4.3 calls for. Works on the directed, per-medium
+/// graph the IEEE 1905 abstraction layer exposes, and (following the hybrid
+/// study [17] the paper cites) discounts hops that *alternate* mediums,
+/// because consecutive same-medium hops contend with each other while a
+/// PLC hop and a WiFi hop can run concurrently.
+class MeshRouter {
+ public:
+  struct Config {
+    std::size_t packet_bytes = 1500;
+    /// Metrics older than this are treated as unknown (stale-metric policy;
+    /// the probing study of §6-§7 governs how fresh they can be kept).
+    sim::Time metric_max_age = sim::minutes(5);
+    /// Cost multiplier for a hop whose medium differs from the previous
+    /// hop's: < 1 rewards alternation, 1 disables the preference.
+    double alternation_discount = 0.85;
+    int max_hops = 6;
+  };
+
+  MeshRouter(const LinkMetricTable& table, Config config)
+      : table_(table), cfg_(config) {}
+  explicit MeshRouter(const LinkMetricTable& table)
+      : MeshRouter(table, Config{}) {}
+
+  /// Cheapest route src -> dst by summed (alternation-discounted) ETT.
+  /// Empty when unreachable with fresh metrics.
+  [[nodiscard]] std::vector<Hop> route(net::StationId src, net::StationId dst,
+                                       sim::Time now) const;
+
+  /// Summed raw ETT of a route (no alternation discount), for reporting.
+  [[nodiscard]] double path_ett_ms(const std::vector<Hop>& path, sim::Time now) const;
+
+ private:
+  const LinkMetricTable& table_;
+  Config cfg_;
+};
+
+}  // namespace efd::hybrid

@@ -1,0 +1,24 @@
+#include "src/hybrid/scheduler.hpp"
+
+namespace efd::hybrid {
+
+int CapacityScheduler::pick(const net::Packet&) {
+  if (capacities_.empty()) return 0;
+  double total = 0.0;
+  for (double c : capacities_) total += c;
+  if (total <= 0.0) return 0;
+  double x = rng_.uniform(0.0, total);
+  for (std::size_t i = 0; i < capacities_.size(); ++i) {
+    x -= capacities_[i];
+    if (x <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(capacities_.size()) - 1;
+}
+
+int RoundRobinScheduler::pick(const net::Packet&) {
+  const int i = next_;
+  next_ = (next_ + 1) % n_;
+  return i;
+}
+
+}  // namespace efd::hybrid

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/net/packet.hpp"
+#include "src/sim/rng.hpp"
+
+namespace efd::hybrid {
+
+/// Decides which interface each IP packet leaves on. The paper's Click
+/// implementation sits between the IP and MAC layers (§7.4).
+class PacketScheduler {
+ public:
+  virtual ~PacketScheduler() = default;
+
+  /// Interface index in [0, n_interfaces) for this packet.
+  [[nodiscard]] virtual int pick(const net::Packet& p) = 0;
+
+  /// Feed the current capacity estimates (Mb/s per interface).
+  virtual void set_capacities(std::vector<double> capacities_mbps) = 0;
+};
+
+/// The paper's load balancer: forward each packet to medium `i` with
+/// probability proportional to its estimated capacity (§7.4).
+class CapacityScheduler final : public PacketScheduler {
+ public:
+  explicit CapacityScheduler(sim::Rng rng) : rng_(rng) {}
+
+  [[nodiscard]] int pick(const net::Packet& p) override;
+  void set_capacities(std::vector<double> capacities_mbps) override {
+    capacities_ = std::move(capacities_mbps);
+  }
+
+ private:
+  sim::Rng rng_;
+  std::vector<double> capacities_;
+};
+
+/// The paper's baseline (§7.4, Fig. 20): equal packet counts per medium,
+/// which bottlenecks at twice the slower medium's capacity.
+class RoundRobinScheduler final : public PacketScheduler {
+ public:
+  explicit RoundRobinScheduler(int n_interfaces) : n_(n_interfaces) {}
+
+  [[nodiscard]] int pick(const net::Packet& p) override;
+  void set_capacities(std::vector<double>) override {}  // capacity-oblivious
+
+ private:
+  int n_;
+  int next_ = 0;
+};
+
+}  // namespace efd::hybrid

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <functional>
+
+#include "src/net/packet.hpp"
+
+namespace efd::net {
+
+/// The service boundary between the IP layer and a technology MAC (PLC or
+/// WiFi). Mirrors how the paper's boards expose each medium as an Ethernet
+/// interface. Queues are non-blocking, as on real PLC adapters (§7.4
+/// footnote): `enqueue` returns false and drops when the MAC queue is full.
+class Interface {
+ public:
+  using RxHandler = std::function<void(const Packet&, sim::Time)>;
+
+  virtual ~Interface() = default;
+
+  /// Hand a packet to the MAC. Returns false if the queue is full (packet
+  /// dropped), true otherwise.
+  virtual bool enqueue(const Packet& p) = 0;
+
+  [[nodiscard]] virtual std::size_t queue_length() const = 0;
+
+  /// Register the upper-layer receive callback at the *destination* side.
+  virtual void set_rx_handler(RxHandler handler) = 0;
+
+  /// Drop everything still queued (an adapter reset / interface flush).
+  /// Back-to-back experiments use this so one run's retransmission backlog
+  /// cannot contend with the next run's traffic.
+  virtual void clear_queue() {}
+};
+
+}  // namespace efd::net

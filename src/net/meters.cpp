@@ -1,0 +1,79 @@
+#include "src/net/meters.hpp"
+
+#include <cmath>
+
+namespace efd::net {
+
+void ThroughputMeter::roll_to(sim::Time now) {
+  while (now >= window_start_ + window_) {
+    samples_.push_back(static_cast<double>(window_bytes_) * 8.0 /
+                       window_.seconds() / 1e6);
+    window_bytes_ = 0;
+    window_start_ += window_;
+  }
+}
+
+void ThroughputMeter::on_packet(const Packet& p, sim::Time now) {
+  if (!started_) {
+    started_ = true;
+    window_start_ = sim::Time{(now.ns() / window_.ns()) * window_.ns()};
+  }
+  roll_to(now);
+  window_bytes_ += p.size_bytes;
+  total_bytes_ += p.size_bytes;
+  ++total_packets_;
+}
+
+void ThroughputMeter::finish(sim::Time now) {
+  if (!started_) return;
+  roll_to(now);
+}
+
+sim::RunningStats ThroughputMeter::stats() const {
+  sim::RunningStats s;
+  for (double v : samples_) s.add(v);
+  return s;
+}
+
+double ThroughputMeter::average_mbps(sim::Time duration) const {
+  if (duration.ns() <= 0) return 0.0;
+  return static_cast<double>(total_bytes_) * 8.0 / duration.seconds() / 1e6;
+}
+
+void JitterMeter::on_packet(const Packet& p, sim::Time now) {
+  const double transit_ms = (now - p.created).ms();
+  if (has_prev_) {
+    const double d = std::abs(transit_ms - prev_transit_ms_);
+    jitter_ms_ += (d - jitter_ms_) / 16.0;  // RFC 3550 smoothing
+    history_.add(jitter_ms_);
+  }
+  prev_transit_ms_ = transit_ms;
+  has_prev_ = true;
+}
+
+void LossMeter::on_packet(const Packet& p, sim::Time) {
+  ++received_;
+  if (!any_ || p.seq > max_seq_) max_seq_ = p.seq;
+  any_ = true;
+}
+
+std::uint64_t LossMeter::lost() const {
+  if (!any_) return 0;
+  const std::uint64_t expected = static_cast<std::uint64_t>(max_seq_) + 1;
+  return expected > received_ ? expected - received_ : 0;
+}
+
+double LossMeter::loss_rate() const {
+  if (!any_) return 0.0;
+  const double expected = static_cast<double>(max_seq_) + 1.0;
+  return static_cast<double>(lost()) / expected;
+}
+
+void OrderMeter::on_packet(const Packet& p, sim::Time) {
+  ++received_;
+  if (any_ && p.seq < last_seq_) ++out_of_order_;
+  if (!any_ || p.seq > last_seq_) last_seq_ = p.seq;
+  any_ = true;
+}
+
+}  // namespace efd::net

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.hpp"
+#include "src/sim/stats.hpp"
+#include "src/sim/time.hpp"
+
+namespace efd::net {
+
+/// Receiver-side throughput instrumentation, equivalent to the paper's
+/// iperf/ifstat readings (§3.2): bytes are binned into fixed windows
+/// (100 ms in the paper's Fig. 3 experiment) and reported in Mb/s.
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(sim::Time window = sim::milliseconds(100))
+      : window_(window) {}
+
+  /// Record a delivered packet (call from the interface rx handler).
+  void on_packet(const Packet& p, sim::Time now);
+
+  /// Close the current window; call once at the end of the experiment.
+  void finish(sim::Time now);
+
+  /// Mb/s samples per completed window.
+  [[nodiscard]] const std::vector<double>& samples_mbps() const { return samples_; }
+
+  /// Mean and stddev over windows that overlap [from, to) of the experiment.
+  [[nodiscard]] sim::RunningStats stats() const;
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+
+  /// Average goodput in Mb/s between the first and last delivery.
+  [[nodiscard]] double average_mbps(sim::Time duration) const;
+
+ private:
+  void roll_to(sim::Time now);
+
+  sim::Time window_;
+  sim::Time window_start_{};
+  bool started_ = false;
+  std::uint64_t window_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_packets_ = 0;
+  std::vector<double> samples_;
+};
+
+/// Inter-arrival jitter per RFC 3550: a smoothed estimate of the variation
+/// in (arrival - send) transit times. The paper's hybrid experiment (§7.4)
+/// checks that load balancing does not worsen jitter.
+class JitterMeter {
+ public:
+  void on_packet(const Packet& p, sim::Time now);
+
+  /// Current RFC 3550 jitter estimate in milliseconds.
+  [[nodiscard]] double jitter_ms() const { return jitter_ms_; }
+
+  /// Mean of the jitter estimate over all updates.
+  [[nodiscard]] double mean_jitter_ms() const { return history_.mean(); }
+
+ private:
+  bool has_prev_ = false;
+  double prev_transit_ms_ = 0.0;
+  double jitter_ms_ = 0.0;
+  sim::RunningStats history_;
+};
+
+/// Counts sequence gaps in a probe flow; the paper's broadcast-ETX
+/// experiment (§8.1) counts missed broadcast probes by sequence number.
+class LossMeter {
+ public:
+  void on_packet(const Packet& p, sim::Time now);
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  /// Packets missing, inferred from the highest sequence seen.
+  [[nodiscard]] std::uint64_t lost() const;
+  [[nodiscard]] double loss_rate() const;
+
+ private:
+  std::uint64_t received_ = 0;
+  bool any_ = false;
+  std::uint32_t max_seq_ = 0;
+};
+
+/// Tracks in-order delivery of a re-ordered flow and reports out-of-order
+/// arrivals; used to validate the hybrid reorder buffer.
+class OrderMeter {
+ public:
+  void on_packet(const Packet& p, sim::Time now);
+
+  [[nodiscard]] std::uint64_t out_of_order() const { return out_of_order_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  bool any_ = false;
+  std::uint32_t last_seq_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t out_of_order_ = 0;
+};
+
+}  // namespace efd::net

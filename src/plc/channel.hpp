@@ -1,0 +1,94 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/grid/mains.hpp"
+#include "src/grid/power_grid.hpp"
+#include "src/net/packet.hpp"
+#include "src/plc/phy.hpp"
+#include "src/plc/tone_map.hpp"
+
+namespace efd::plc {
+
+/// The PLC channel between stations: binds a PowerGrid (attenuation/noise
+/// physics) to a PHY parameterization and a station->outlet attachment,
+/// and serves per-carrier SNR and PB error probabilities to the MAC and the
+/// channel estimator.
+///
+/// Performance: per-carrier vectors are cached per (link, slot) and
+/// invalidated when the grid's appliance state epoch changes; the fast
+/// (cycle-scale) noise term is a scalar uniformly shifting SNR, so cached
+/// vectors stay valid across it. PB error probabilities are memoized per
+/// (link, slot, tone map, quantized fast offset), which keeps saturated
+/// frame-level simulation cheap.
+class PlcChannel {
+ public:
+  PlcChannel(const grid::PowerGrid& grid, PhyParams phy)
+      : grid_(grid), phy_(std::move(phy)) {}
+
+  /// Attach station `id` to grid outlet node `outlet`.
+  void attach_station(net::StationId id, int outlet);
+
+  [[nodiscard]] int outlet(net::StationId id) const;
+  [[nodiscard]] const PhyParams& phy() const { return phy_; }
+  [[nodiscard]] const grid::PowerGrid& grid() const { return grid_; }
+
+  /// Tone-map slot index active at simulated time `t` (position within the
+  /// AC half cycle, paper §6.1).
+  [[nodiscard]] int slot_at(sim::Time t) const;
+
+  /// Per-carrier SNR (dB) of directed link a->b for tone-map slot `slot`,
+  /// including the cycle-scale noise offset at time `t`.
+  [[nodiscard]] std::vector<double> snr_db(net::StationId a, net::StationId b, int slot,
+                                           sim::Time t) const;
+
+  /// Static per-carrier SNR without the fast offset (cached); the offset to
+  /// subtract is `fast_offset_db`.
+  [[nodiscard]] const std::vector<double>& static_snr_db(net::StationId a, net::StationId b,
+                                                         int slot, sim::Time t) const;
+  [[nodiscard]] double fast_offset_db(net::StationId b, sim::Time t) const;
+
+  /// PB error probability when tone map `tm` is used on a->b at `t` in
+  /// `slot`. Memoized; safe to call per-frame in saturated simulations.
+  [[nodiscard]] double pb_error_probability(const ToneMap& tm, net::StationId a,
+                                            net::StationId b, int slot,
+                                            sim::Time t) const;
+
+  [[nodiscard]] double cable_distance(net::StationId a, net::StationId b) const;
+
+  /// Mean SNR across carriers (diagnostic / link classification aid).
+  [[nodiscard]] double mean_snr_db(net::StationId a, net::StationId b, int slot,
+                                   sim::Time t) const;
+
+ private:
+  struct SnrEntry {
+    std::uint64_t epoch = 0;
+    std::vector<double> snr_db;
+    /// pberr memo: key = tone map id * 4096 + quantized offset bucket.
+    std::unordered_map<std::uint64_t, double> pberr;
+  };
+
+  /// Attenuation is independent of the tone-map slot; share it across the
+  /// per-slot SNR entries.
+  struct AttenEntry {
+    std::uint64_t epoch = 0;
+    std::vector<double> att_db;
+  };
+
+  [[nodiscard]] std::uint64_t link_key(net::StationId a, net::StationId b, int slot) const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 40) ^
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(b)) << 16) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(slot));
+  }
+
+  SnrEntry& entry(net::StationId a, net::StationId b, int slot, sim::Time t) const;
+
+  const grid::PowerGrid& grid_;
+  PhyParams phy_;
+  std::unordered_map<net::StationId, int> outlets_;
+  mutable std::unordered_map<std::uint64_t, SnrEntry> cache_;
+  mutable std::unordered_map<std::uint64_t, AttenEntry> atten_cache_;
+};
+
+}  // namespace efd::plc

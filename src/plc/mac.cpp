@@ -1,0 +1,216 @@
+#include "src/plc/mac.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "src/plc/medium.hpp"
+
+namespace efd::plc {
+
+namespace {
+int pbs_for(std::size_t bytes) {
+  return static_cast<int>(
+      (bytes + PhyParams::kPbPayloadBytes - 1) / PhyParams::kPbPayloadBytes);
+}
+}  // namespace
+
+PlcMac::PlcMac(sim::Simulator& simulator, PlcMedium& medium, const PlcChannel& channel,
+               EstimatorDirectory& directory, net::StationId self, sim::Rng rng,
+               Config config)
+    : sim_(simulator),
+      medium_(medium),
+      channel_(channel),
+      directory_(directory),
+      self_(self),
+      rng_(rng),
+      cfg_(config) {
+  dc_ = cfg_.dc[0];
+}
+
+bool PlcMac::enqueue(const net::Packet& p) {
+  const int n = pbs_for(p.size_bytes);
+  if (queued_pbs_ + static_cast<std::size_t>(n) > cfg_.queue_limit_pbs) {
+    ++drops_;
+    return false;
+  }
+  auto shared = std::make_shared<const net::Packet>(p);
+  for (int i = 0; i < n; ++i) {
+    pb_queue_.push_back(PbUnit{shared, i, n, 0});
+  }
+  queued_pbs_ += static_cast<std::size_t>(n);
+  if (queued_pbs_ == static_cast<std::size_t>(n)) {
+    medium_.notify_ready(*this);
+  }
+  return true;
+}
+
+std::size_t PlcMac::queue_length() const {
+  return queued_pbs_ / 3;  // rough packets-outstanding figure
+}
+
+void PlcMac::redraw_backoff() {
+  backoff_ = static_cast<int>(
+      rng_.uniform_int(0, cfg_.cw[static_cast<std::size_t>(stage_)] - 1));
+  dc_ = cfg_.dc[static_cast<std::size_t>(stage_)];
+}
+
+void PlcMac::enter_next_stage() {
+  stage_ = std::min<int>(stage_ + 1, static_cast<int>(cfg_.cw.size()) - 1);
+  redraw_backoff();
+}
+
+int PlcMac::current_backoff() {
+  if (backoff_ < 0) redraw_backoff();
+  return backoff_;
+}
+
+void PlcMac::on_medium_busy(int slots_elapsed) {
+  if (backoff_ < 0) return;
+  backoff_ = std::max(0, backoff_ - slots_elapsed);
+  if (cfg_.disable_deferral) return;  // 802.11-style: only collisions escalate
+  // IEEE 1901 deferral counter: sensing the medium busy with an exhausted
+  // deferral counter escalates the backoff stage without any collision.
+  if (dc_ == 0) {
+    enter_next_stage();
+  } else {
+    --dc_;
+  }
+}
+
+PlcFrame PlcMac::build_frame(sim::Time now) {
+  assert(!pb_queue_.empty());
+  const PhyParams& phy = channel_.phy();
+  PlcFrame frame;
+  frame.src = self_;
+  frame.dst = pb_queue_.front().packet->dst;
+  frame.slot = channel_.slot_at(now);
+  frame.start = now;
+
+  const bool broadcast = frame.dst == net::kBroadcast;
+  const ToneMap* tm = nullptr;
+  if (broadcast) {
+    frame.robo = true;
+    static const ToneMap kRobo = ToneMap::robo(phy);
+    tm = &kRobo;
+  } else {
+    ChannelEstimator& est = directory_.estimator(frame.dst, self_);
+    if (!est.has_tone_maps()) {
+      frame.robo = true;
+      frame.sound = true;
+      tm = &est.tone_maps().robo;
+    } else {
+      tm = &est.tone_maps().slots[static_cast<std::size_t>(frame.slot)];
+    }
+  }
+  frame.tone_map_id = tm->id();
+  frame.ble_mbps = tm->ble_mbps();
+  frame.tone_map = *tm;
+
+  // Bits one OFDM symbol carries under this tone map (post-FEC payload),
+  // discounted by MAC framing / AES alignment / per-PB CRC overhead.
+  const double bits_per_symbol = std::max(
+      1.0, tm->phy_rate_mbps() * phy.symbol.us() * phy.pb_wire_efficiency);
+  const auto max_symbols =
+      std::max<int>(1, static_cast<int>(phy.max_frame.ns() / phy.symbol.ns()));
+
+  // Aggregate PBs from the queue head — retransmissions were pushed to the
+  // front, so they leave first (Fig. 1's PB queue). Stop at the frame's
+  // symbol budget; never split below one PB.
+  int n_pbs = 0;
+  while (!pb_queue_.empty()) {
+    const int symbols_with_next = static_cast<int>(
+        std::ceil((n_pbs + 1) * PhyParams::pb_bits() / bits_per_symbol));
+    if (n_pbs > 0 && symbols_with_next > max_symbols) break;
+    // Frames are unicast to one destination; stop at a destination switch.
+    if (pb_queue_.front().packet->dst != frame.dst) break;
+    frame.pbs.push_back(pb_queue_.front());
+    pb_queue_.pop_front();
+    --queued_pbs_;
+    ++n_pbs;
+  }
+  frame.n_symbols = std::max(
+      1, static_cast<int>(std::ceil(n_pbs * PhyParams::pb_bits() / bits_per_symbol)));
+  frame.end = now + phy.delimiter + frame.n_symbols * phy.symbol;
+  ++frames_tx_;
+  return frame;
+}
+
+void PlcMac::on_sack(const PlcFrame& frame, const std::vector<int>& errored_pbs) {
+  stage_ = 0;
+  backoff_ = -1;
+  dc_ = cfg_.dc[0];
+  // Selective retransmission: only corrupted PBs go back, to the queue
+  // front, unless they exhausted their retry budget.
+  for (auto it = errored_pbs.rbegin(); it != errored_pbs.rend(); ++it) {
+    PbUnit pb = frame.pbs[static_cast<std::size_t>(*it)];
+    if (pb.retries >= cfg_.max_pb_retries) continue;
+    ++pb.retries;
+    ++pb_retx_;
+    pb_queue_.push_front(pb);
+    ++queued_pbs_;
+  }
+  if (!pb_queue_.empty()) medium_.notify_ready(*this);
+}
+
+void PlcMac::on_no_sack(const PlcFrame& frame) {
+  if (frame.dst == net::kBroadcast) {
+    // Broadcast is never SACKed; nothing to retransmit.
+    stage_ = 0;
+    backoff_ = -1;
+    dc_ = cfg_.dc[0];
+    if (!pb_queue_.empty()) medium_.notify_ready(*this);
+    return;
+  }
+  // Collision inferred: whole frame returns to the queue, stage escalates.
+  for (auto it = frame.pbs.rbegin(); it != frame.pbs.rend(); ++it) {
+    PbUnit pb = *it;
+    if (pb.retries >= cfg_.max_pb_retries) continue;
+    ++pb.retries;
+    pb_queue_.push_front(pb);
+    ++queued_pbs_;
+  }
+  enter_next_stage();
+  if (!pb_queue_.empty()) medium_.notify_ready(*this);
+}
+
+void PlcMac::on_frame_received(const PlcFrame& frame,
+                               const std::vector<int>& errored_pbs, sim::Time now) {
+  // Feed the receiver-side channel estimator. Sound frames trigger the
+  // initial estimation; collision-corrupted PBs arrive through the same
+  // path and are indistinguishable from channel errors (§8.2).
+  if (frame.dst != net::kBroadcast) {
+    ChannelEstimator& est = directory_.estimator(self_, frame.src);
+    if (frame.sound) est.on_sound_frame(now);
+    est.on_frame_received(frame.slot, static_cast<int>(frame.pbs.size()),
+                          static_cast<int>(errored_pbs.size()), frame.n_symbols, now);
+  }
+
+  // Reassemble packets from clean PBs.
+  std::vector<bool> errored(frame.pbs.size(), false);
+  for (int i : errored_pbs) errored[static_cast<std::size_t>(i)] = true;
+  for (std::size_t i = 0; i < frame.pbs.size(); ++i) {
+    if (errored[i]) continue;
+    const PbUnit& pb = frame.pbs[i];
+    Reassembly& r = reassembly_[pb.packet->id];
+    if (r.total == 0) {
+      r.packet = pb.packet;
+      r.total = pb.total;
+    }
+    const std::uint64_t bit = 1ULL << (pb.index % 64);
+    if (r.received_mask & bit) continue;  // duplicate PB
+    r.received_mask |= bit;
+    const int have = std::popcount(r.received_mask);
+    if (have == r.total) {
+      ++delivered_;
+      if (rx_) rx_(*r.packet, now);
+      reassembly_.erase(pb.packet->id);
+    }
+  }
+  // Bound the reassembly table: abandoned entries (all-PB-dropped packets)
+  // must not accumulate over day-long runs.
+  if (reassembly_.size() > 4096) reassembly_.clear();
+}
+
+}  // namespace efd::plc

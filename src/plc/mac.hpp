@@ -1,0 +1,145 @@
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "src/net/interface.hpp"
+#include "src/plc/channel.hpp"
+#include "src/plc/channel_estimator.hpp"
+#include "src/plc/frame.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace efd::plc {
+
+class PlcMedium;
+
+/// Lookup of the receiver-side channel estimator for a directed link; the
+/// tone-map exchange via management messages (§2.2) is abstracted as shared
+/// state between the two endpoints.
+class EstimatorDirectory {
+ public:
+  virtual ~EstimatorDirectory() = default;
+  /// Estimator maintained by `rx` for frames arriving from `tx`.
+  virtual ChannelEstimator& estimator(net::StationId rx, net::StationId tx) = 0;
+};
+
+/// IEEE 1901 CSMA/CA MAC for one station (§2.2): PB segmentation, frame
+/// aggregation driven by the current slot's BLE, SACK-based selective PB
+/// retransmission, and the CW / deferral-counter backoff of 1901.
+class PlcMac final : public net::Interface {
+ public:
+  struct Config {
+    /// Queue bound in PBs (~200 full-size packets); PLC adapter queues are
+    /// non-blocking: excess packets are dropped (paper §7.4 footnote).
+    std::size_t queue_limit_pbs = 600;
+    int max_pb_retries = 31;
+    /// CW per backoff stage (IEEE 1901 CA0/CA1 class).
+    std::array<int, 4> cw = {8, 16, 32, 64};
+    /// Deferral counter per stage (IEEE 1901).
+    std::array<int, 4> dc = {0, 1, 3, 15};
+    /// Use plain 802.11-style backoff instead of the 1901 deferral rule;
+    /// kept for the ablation bench.
+    bool disable_deferral = false;
+
+    /// Backoff tables for a channel-access class: CA0/CA1 use the wide
+    /// ladder above; CA2/CA3 (delay-sensitive traffic) use the standard's
+    /// tighter one.
+    static Config for_ca_class(int ca) {
+      Config c;
+      if (ca >= 2) {
+        c.cw = {8, 16, 16, 32};
+      }
+      return c;
+    }
+  };
+
+  PlcMac(sim::Simulator& simulator, PlcMedium& medium, const PlcChannel& channel,
+         EstimatorDirectory& directory, net::StationId self, sim::Rng rng,
+         Config config);
+
+  // net::Interface
+  bool enqueue(const net::Packet& p) override;
+  [[nodiscard]] std::size_t queue_length() const override;
+  void set_rx_handler(RxHandler handler) override { rx_ = std::move(handler); }
+  void clear_queue() override {
+    pb_queue_.clear();
+    queued_pbs_ = 0;
+  }
+
+  [[nodiscard]] net::StationId id() const { return self_; }
+
+  // --- Hooks driven by the medium -----------------------------------------
+
+  [[nodiscard]] bool has_pending() const { return !pb_queue_.empty(); }
+
+  /// Channel-access priority the station will signal in the priority-
+  /// resolution slots: the priority of the frame at the queue head.
+  [[nodiscard]] int current_priority() const {
+    return pb_queue_.empty() ? 0 : pb_queue_.front().packet->priority;
+  }
+
+  /// Draw/continue the backoff counter for a contention round.
+  [[nodiscard]] int current_backoff();
+
+  /// The station sensed the medium busy without transmitting: consume the
+  /// counted-down slots and apply the 1901 deferral-counter rule.
+  void on_medium_busy(int slots_elapsed);
+
+  /// Build the frame to transmit now (the station won contention).
+  [[nodiscard]] PlcFrame build_frame(sim::Time now);
+
+  /// Outcome of a transmission: SACK arrived with `errored` PB indices
+  /// (positions within the frame), or no SACK at all (collision inferred).
+  void on_sack(const PlcFrame& frame, const std::vector<int>& errored_pbs);
+  void on_no_sack(const PlcFrame& frame);
+
+  /// A frame addressed to this station (or broadcast) was decodable;
+  /// `errored_pbs` lists corrupted PB positions. Feeds reassembly, delivery
+  /// and the receiver-side channel estimator.
+  void on_frame_received(const PlcFrame& frame, const std::vector<int>& errored_pbs,
+                         sim::Time now);
+
+  // --- Stats ---------------------------------------------------------------
+  [[nodiscard]] std::uint64_t frames_transmitted() const { return frames_tx_; }
+  [[nodiscard]] std::uint64_t pb_retransmissions() const { return pb_retx_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return drops_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
+
+ private:
+  void redraw_backoff();
+  void enter_next_stage();
+
+  sim::Simulator& sim_;
+  PlcMedium& medium_;
+  const PlcChannel& channel_;
+  EstimatorDirectory& directory_;
+  net::StationId self_;
+  sim::Rng rng_;
+  Config cfg_;
+  RxHandler rx_;
+
+  std::deque<PbUnit> pb_queue_;
+  std::size_t queued_pbs_ = 0;
+
+  int stage_ = 0;
+  int backoff_ = -1;  ///< -1: not drawn
+  int dc_ = 0;
+
+  /// Receiver-side reassembly: packet id -> bitmap of received PBs.
+  struct Reassembly {
+    std::shared_ptr<const net::Packet> packet;
+    std::uint64_t received_mask = 0;
+    int total = 0;
+  };
+  std::unordered_map<std::uint64_t, Reassembly> reassembly_;
+
+  std::uint64_t frames_tx_ = 0;
+  std::uint64_t pb_retx_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace efd::plc

@@ -1,0 +1,248 @@
+#include "src/plc/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/plc/mac.hpp"
+
+namespace efd::plc {
+
+PlcMedium::PlcMedium(sim::Simulator& simulator, const PlcChannel& channel, sim::Rng rng)
+    : sim_(simulator), channel_(channel), rng_(rng) {}
+
+void PlcMedium::register_mac(PlcMac& mac) { macs_.push_back(&mac); }
+
+void PlcMedium::enable_beacons(sim::Time period, sim::Time duration) {
+  assert(!beacons_enabled_ && "beacons already enabled");
+  assert(duration < period);
+  beacons_enabled_ = true;
+  beacon_period_ = period;
+  beacon_duration_ = duration;
+  sim_.after(period, [this] { beacon_tick(); });
+}
+
+void PlcMedium::beacon_tick() {
+  ++beacons_;
+  // The beacon region reserves the medium. If a frame exchange is in
+  // flight, the region follows it: charge the hold to the next contention.
+  // If the medium is idle, hold it busy for the beacon duration directly.
+  if (busy_ || contention_scheduled_) {
+    pending_beacon_hold_ += beacon_duration_;
+  } else {
+    busy_ = true;
+    sim_.after(beacon_duration_, [this] {
+      busy_ = false;
+      for (PlcMac* m : macs_) {
+        if (m->has_pending()) {
+          schedule_contention();
+          break;
+        }
+      }
+    });
+  }
+  sim_.after(beacon_period_, [this] { beacon_tick(); });
+}
+
+PlcMedium::SnifferId PlcMedium::add_sniffer(
+    std::function<void(const SofRecord&)> sniffer) {
+  const SnifferId id = next_sniffer_id_++;
+  sniffers_.emplace_back(id, std::move(sniffer));
+  return id;
+}
+
+void PlcMedium::remove_sniffer(SnifferId id) {
+  std::erase_if(sniffers_, [id](const auto& entry) { return entry.first == id; });
+}
+
+void PlcMedium::notify_ready(PlcMac&) {
+  if (!busy_ && !contention_scheduled_) schedule_contention();
+}
+
+void PlcMedium::schedule_contention() {
+  contention_scheduled_ = true;
+  const sim::Time delay = kCifs + pending_beacon_hold_;
+  pending_beacon_hold_ = sim::Time{};
+  sim_.after(delay, [this] { resolve_contention(); });
+}
+
+void PlcMedium::emit_sof(const PlcFrame& f) const {
+  if (sniffers_.empty()) return;
+  const SofRecord rec{f.start,
+                      f.end,
+                      f.src,
+                      f.dst,
+                      f.slot,
+                      f.ble_mbps,
+                      static_cast<int>(f.pbs.size()),
+                      f.n_symbols,
+                      f.robo,
+                      f.sound,
+                      f.dst == net::kBroadcast};
+  for (const auto& [id, fn] : sniffers_) fn(rec);
+}
+
+void PlcMedium::resolve_contention() {
+  contention_scheduled_ = false;
+  if (busy_) return;
+
+  std::vector<PlcMac*> contenders;
+  for (PlcMac* m : macs_) {
+    if (m->has_pending()) contenders.push_back(m);
+  }
+  if (contenders.empty()) return;
+
+  // Priority resolution (the PRS0/PRS1 symbols of IEEE 1901): stations
+  // signal their CA class and only the highest class proceeds to backoff.
+  // Lower-priority stations defer without consuming backoff slots.
+  int top_priority = 0;
+  for (PlcMac* m : contenders) {
+    top_priority = std::max(top_priority, m->current_priority());
+  }
+  std::erase_if(contenders, [&](PlcMac* m) {
+    return m->current_priority() < top_priority;
+  });
+
+  // Then slotted backoff: the smallest counter transmits; equal minima
+  // collide. Losers sensed `min_backoff` idle slots followed by a busy
+  // medium (deferral-counter bookkeeping in the MAC).
+  int min_backoff = std::numeric_limits<int>::max();
+  for (PlcMac* m : contenders) {
+    min_backoff = std::min(min_backoff, m->current_backoff());
+  }
+  std::vector<PlcMac*> winners;
+  for (PlcMac* m : contenders) {
+    if (m->current_backoff() == min_backoff) {
+      winners.push_back(m);
+    } else {
+      m->on_medium_busy(min_backoff);
+    }
+  }
+
+  busy_ = true;
+  const sim::Time tx_start = sim_.now() + kPrs + (min_backoff + 1) * kSlot;
+  sim_.at(tx_start, [this, winners] {
+    std::vector<PlcFrame> frames;
+    frames.reserve(winners.size());
+    for (PlcMac* m : winners) frames.push_back(m->build_frame(sim_.now()));
+    finish_round(std::move(frames), winners);
+  });
+}
+
+void PlcMedium::finish_round(std::vector<PlcFrame> frames,
+                             std::vector<PlcMac*> senders) {
+  assert(!frames.empty() && frames.size() == senders.size());
+  const bool collision = frames.size() > 1;
+  if (collision) ++collisions_;
+  frames_ += frames.size();
+
+  sim::Time payload_end = frames[0].end;
+  for (const PlcFrame& f : frames) payload_end = std::max(payload_end, f.end);
+
+  for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+    const PlcFrame& f = frames[fi];
+    PlcMac* sender = senders[fi];
+
+    // SACK collision: frames of (nearly) equal length end together and so
+    // do their receivers' SACKs — neither sender learns anything, both
+    // infer a collision and retransmit wholesale. No PB-error report ever
+    // reaches the estimator, which is why equal-length (saturated or
+    // burst-probe) collisions leave BLE untouched while a short probe
+    // captured inside a long frame poisons it (§8.2, Fig. 24).
+    bool sack_collides = false;
+    for (std::size_t gi = 0; collision && gi < frames.size(); ++gi) {
+      if (gi == fi) continue;
+      const auto gap = f.end >= frames[gi].end ? f.end - frames[gi].end
+                                               : frames[gi].end - f.end;
+      if (gap < channel_.phy().delimiter) sack_collides = true;
+    }
+
+    // SNR advantage of this frame over the strongest concurrent interferer
+    // at receiver `rx` — positive and large enough means capture.
+    const auto advantage_db = [&](net::StationId rx) {
+      if (!collision) return 1e9;
+      const double own = channel_.mean_snr_db(f.src, rx, f.slot, f.start);
+      double worst = -1e9;
+      for (std::size_t gi = 0; gi < frames.size(); ++gi) {
+        if (gi == fi) continue;
+        worst = std::max(worst,
+                         channel_.mean_snr_db(frames[gi].src, rx, f.slot, f.start));
+      }
+      return own - worst;
+    };
+    double max_overlap = 0.0;
+    for (std::size_t gi = 0; gi < frames.size(); ++gi) {
+      if (gi == fi) continue;
+      const PlcFrame& g = frames[gi];
+      const double ov =
+          std::min(f.end, g.end).seconds() - std::max(f.start, g.start).seconds();
+      const double len = (f.end - f.start).seconds();
+      if (len > 0.0) max_overlap = std::max(max_overlap, std::clamp(ov / len, 0.0, 1.0));
+    }
+
+    // Decode attempt at one receiver; returns false when the SoF is lost
+    // or the frame exchange cannot complete (SACK collision).
+    const auto receive_at = [&](PlcMac& rx_mac) -> bool {
+      if (sack_collides && f.dst != net::kBroadcast) return false;
+      const double adv = advantage_db(rx_mac.id());
+      if (collision && adv < kCaptureThresholdDb) return false;
+      double p = channel_.pb_error_probability(f.tone_map, f.src, rx_mac.id(),
+                                               f.slot, f.start);
+      if (collision) {
+        // Captured frame: interference corrupts PBs during the overlap —
+        // errors the estimator cannot tell from channel noise (§8.2).
+        const double p_extra =
+            0.85 * max_overlap * std::exp(-(adv - kCaptureThresholdDb) / 8.0);
+        p = 1.0 - (1.0 - p) * (1.0 - p_extra);
+      }
+      std::vector<int> errored;
+      for (std::size_t i = 0; i < f.pbs.size(); ++i) {
+        if (rng_.bernoulli(p)) errored.push_back(static_cast<int>(i));
+      }
+      rx_mac.on_frame_received(f, errored, payload_end);
+      if (f.dst != net::kBroadcast) {
+        const sim::Time sack_end = payload_end + kRifs + channel_.phy().delimiter;
+        sim_.at(sack_end, [sender, f, errored] { sender->on_sack(f, errored); });
+      }
+      return true;
+    };
+
+    bool decodable = false;
+    if (f.dst == net::kBroadcast) {
+      for (PlcMac* m : macs_) {
+        if (m != sender && receive_at(*m)) decodable = true;
+      }
+      sim_.at(payload_end, [sender, f] { sender->on_no_sack(f); });
+    } else {
+      PlcMac* rx_mac = nullptr;
+      for (PlcMac* m : macs_) {
+        if (m->id() == f.dst) {
+          rx_mac = m;
+          break;
+        }
+      }
+      if (rx_mac != nullptr) decodable = receive_at(*rx_mac);
+      if (!decodable) {
+        // No SACK will come: the sender times out and infers a collision.
+        const sim::Time timeout = payload_end + kRifs + channel_.phy().delimiter;
+        sim_.at(timeout, [sender, f] { sender->on_no_sack(f); });
+      }
+    }
+    if (decodable || !collision) emit_sof(f);
+  }
+
+  // Medium idles after the longest payload plus the SACK exchange.
+  const sim::Time idle_at = payload_end + kRifs + channel_.phy().delimiter;
+  sim_.at(idle_at, [this] {
+    busy_ = false;
+    for (PlcMac* m : macs_) {
+      if (m->has_pending()) {
+        schedule_contention();
+        break;
+      }
+    }
+  });
+}
+
+}  // namespace efd::plc

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/plc/channel.hpp"
+#include "src/plc/frame.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace efd::plc {
+
+class PlcMac;
+
+/// The shared power-line bus: one contention domain in which every attached
+/// MAC hears every transmission (the paper's office floor has no hidden PLC
+/// terminals; the two logical networks of Fig. 2 are modelled as two
+/// mediums, isolated by the ~200 m inter-board attenuation).
+///
+/// Contention is resolved in rounds: whenever the medium goes idle, every
+/// MAC with pending PBs participates with its current backoff counter. The
+/// smallest counter transmits; ties collide. Losing stations "sense the
+/// medium busy", which drives the IEEE 1901 deferral-counter rule that
+/// distinguishes 1901 from 802.11 (§2.2, [19]): a station whose deferral
+/// counter is exhausted jumps to the next backoff stage *without* a
+/// collision.
+class PlcMedium {
+ public:
+  /// IEEE 1901 CA1 timing.
+  static constexpr sim::Time kSlot = sim::microseconds(35.84);
+  static constexpr sim::Time kPrs = sim::microseconds(2 * 35.84);
+  static constexpr sim::Time kCifs = sim::microseconds(100.0);
+  static constexpr sim::Time kRifs = sim::microseconds(140.0);
+
+  /// SINR advantage (dB) above which a receiver captures the stronger of
+  /// two colliding frames and decodes it with elevated PB errors (§8.2's
+  /// "capture effect").
+  static constexpr double kCaptureThresholdDb = 10.0;
+
+  PlcMedium(sim::Simulator& simulator, const PlcChannel& channel, sim::Rng rng);
+
+  /// Enable the IEEE 1901 beacon region: the CCo transmits a beacon every
+  /// `period` (nominally two mains cycles, 40 ms at 50 Hz), during which the
+  /// medium is reserved for `duration`. Purely an airtime cost in this
+  /// model (network management rides in it); disabled by default so the
+  /// CSMA-only calibration stays put — enable for standard-fidelity runs.
+  void enable_beacons(sim::Time period = sim::milliseconds(40),
+                      sim::Time duration = sim::microseconds(600));
+
+  void register_mac(PlcMac& mac);
+
+  /// Subscribe a sniffer callback, invoked for every decodable SoF.
+  /// Returns a token for `remove_sniffer` — a subscriber whose lifetime is
+  /// shorter than the medium's MUST unregister before it dies.
+  using SnifferId = std::uint64_t;
+  SnifferId add_sniffer(std::function<void(const SofRecord&)> sniffer);
+  void remove_sniffer(SnifferId id);
+
+  /// A MAC signals that it has PBs pending (queue went non-empty).
+  void notify_ready(PlcMac& mac);
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_; }
+  [[nodiscard]] std::uint64_t beacons_sent() const { return beacons_; }
+
+ private:
+  void schedule_contention();
+  void resolve_contention();
+  void finish_round(std::vector<PlcFrame> frames, std::vector<PlcMac*> senders);
+  void emit_sof(const PlcFrame& frame) const;
+  void beacon_tick();
+
+  sim::Simulator& sim_;
+  const PlcChannel& channel_;
+  mutable sim::Rng rng_;
+  std::vector<PlcMac*> macs_;
+  std::vector<std::pair<SnifferId, std::function<void(const SofRecord&)>>> sniffers_;
+  SnifferId next_sniffer_id_ = 1;
+  bool busy_ = false;
+  bool contention_scheduled_ = false;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t frames_ = 0;
+  bool beacons_enabled_ = false;
+  sim::Time beacon_period_{};
+  sim::Time beacon_duration_{};
+  sim::Time pending_beacon_hold_{};  ///< beacon airtime owed by the next round
+  std::uint64_t beacons_ = 0;
+};
+
+}  // namespace efd::plc

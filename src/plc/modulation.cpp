@@ -1,0 +1,86 @@
+#include "src/plc/modulation.hpp"
+
+#include <cmath>
+
+namespace efd::plc {
+
+namespace {
+/// Gaussian tail function.
+double q_func(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+}  // namespace
+
+int bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kOff: return 0;
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam8: return 3;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+    case Modulation::kQam256: return 8;
+    case Modulation::kQam1024: return 10;
+  }
+  return 0;
+}
+
+double required_snr_db(Modulation m) {
+  // Net thresholds after the ~7 dB coding gain of the rate-16/21 turbo code.
+  switch (m) {
+    case Modulation::kOff: return -1e9;
+    case Modulation::kBpsk: return 2.0;
+    case Modulation::kQpsk: return 5.0;
+    case Modulation::kQam8: return 8.5;
+    case Modulation::kQam16: return 11.5;
+    case Modulation::kQam64: return 17.5;
+    case Modulation::kQam256: return 23.5;
+    case Modulation::kQam1024: return 29.5;
+  }
+  return 1e9;
+}
+
+Modulation pick_modulation(double snr_db) {
+  static constexpr Modulation kAll[] = {
+      Modulation::kQam1024, Modulation::kQam256, Modulation::kQam64,
+      Modulation::kQam16,   Modulation::kQam8,   Modulation::kQpsk,
+      Modulation::kBpsk,
+  };
+  for (Modulation m : kAll) {
+    if (snr_db >= required_snr_db(m)) return m;
+  }
+  return Modulation::kOff;
+}
+
+double uncoded_ber(Modulation m, double snr_db) {
+  const double snr = std::pow(10.0, snr_db / 10.0);
+  switch (m) {
+    case Modulation::kOff:
+      return 0.0;  // carrier unused: contributes no bits, no errors
+    case Modulation::kBpsk:
+      return q_func(std::sqrt(2.0 * snr));
+    case Modulation::kQpsk:
+      return q_func(std::sqrt(snr));
+    default: {
+      const int b = bits_per_symbol(m);
+      const double mm = std::pow(2.0, b);
+      // Gray-coded square/cross QAM approximation.
+      const double arg = std::sqrt(3.0 * snr / (mm - 1.0));
+      return (4.0 / b) * (1.0 - 1.0 / std::sqrt(mm)) * q_func(arg);
+    }
+  }
+}
+
+std::string to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kOff: return "off";
+    case Modulation::kBpsk: return "bpsk";
+    case Modulation::kQpsk: return "qpsk";
+    case Modulation::kQam8: return "8-qam";
+    case Modulation::kQam16: return "16-qam";
+    case Modulation::kQam64: return "64-qam";
+    case Modulation::kQam256: return "256-qam";
+    case Modulation::kQam1024: return "1024-qam";
+  }
+  return "unknown";
+}
+
+}  // namespace efd::plc

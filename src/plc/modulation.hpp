@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+namespace efd::plc {
+
+/// Per-carrier constellations of HomePlug AV / IEEE 1901 (§2.1 of the
+/// paper). Unlike 802.11, every OFDM carrier picks its own constellation.
+enum class Modulation {
+  kOff,      ///< carrier not used (notched or hopeless SNR)
+  kBpsk,
+  kQpsk,
+  kQam8,
+  kQam16,
+  kQam64,
+  kQam256,
+  kQam1024,
+};
+
+inline constexpr int kModulationCount = 8;
+
+/// Bits carried per OFDM symbol on one carrier.
+[[nodiscard]] int bits_per_symbol(Modulation m);
+
+/// Minimum carrier SNR (dB) at which the bit-loader selects `m`, assuming
+/// the standard's rate-16/21 turbo FEC. Calibrated so that operating at the
+/// threshold leaves a small residual PB error rate, as HPAV does.
+[[nodiscard]] double required_snr_db(Modulation m);
+
+/// Largest constellation whose threshold is at or below `snr_db`.
+[[nodiscard]] Modulation pick_modulation(double snr_db);
+
+/// Approximate uncoded bit-error rate of `m` at the given carrier SNR.
+/// Standard Gray-coded square-QAM approximation; used to derive PB error
+/// probabilities for tone maps that are mismatched to the channel.
+[[nodiscard]] double uncoded_ber(Modulation m, double snr_db);
+
+[[nodiscard]] std::string to_string(Modulation m);
+
+}  // namespace efd::plc

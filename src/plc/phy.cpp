@@ -1,0 +1,2 @@
+// phy.hpp is header-only; see PhyParams and RoboMode.
+#include "src/plc/phy.hpp"

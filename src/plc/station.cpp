@@ -1,0 +1,2 @@
+// PlcStation is defined inline; construction lives in PlcNetwork.
+#include "src/plc/station.hpp"

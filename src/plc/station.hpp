@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/plc/mac.hpp"
+
+namespace efd::plc {
+
+class PlcNetwork;
+
+/// One PLC adapter: a MAC plus the receiver-side channel estimators it
+/// maintains for every peer that transmits to it (tone maps are estimated
+/// at the receiver, §2.1).
+class PlcStation {
+ public:
+  PlcStation(const PlcStation&) = delete;
+  PlcStation& operator=(const PlcStation&) = delete;
+
+  [[nodiscard]] net::StationId id() const { return id_; }
+  [[nodiscard]] int outlet() const { return outlet_; }
+  [[nodiscard]] PlcMac& mac() { return *mac_; }
+  [[nodiscard]] const PlcMac& mac() const { return *mac_; }
+
+ private:
+  friend class PlcNetwork;
+  PlcStation(net::StationId id, int outlet) : id_(id), outlet_(outlet) {}
+
+  net::StationId id_;
+  int outlet_;
+  std::unique_ptr<PlcMac> mac_;
+  /// Estimators for incoming links, keyed by transmitter id.
+  std::unordered_map<net::StationId, std::unique_ptr<ChannelEstimator>> estimators_;
+};
+
+}  // namespace efd::plc

@@ -1,0 +1,118 @@
+#include "src/plc/tone_map.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace efd::plc {
+
+namespace {
+
+/// Coding gain of the rate-16/21 turbo code, applied when evaluating error
+/// probabilities (the bit-loading thresholds in modulation.cpp already net
+/// it out).
+constexpr double kCodingGainDb = 7.0;
+
+/// Map a mean uncoded BER to a PB (512 B block) error probability through a
+/// turbo-decoder waterfall: blocks survive below ~1e-4 BER and are lost
+/// almost surely above ~1e-2.
+double fec_waterfall(double mean_ber) {
+  if (mean_ber <= 0.0) return 0.0;
+  const double x = std::log10(mean_ber);
+  const double p = 1.0 / (1.0 + std::exp(-6.0 * (x + 2.7)));
+  return p;
+}
+
+}  // namespace
+
+void ToneMap::recompute() {
+  double bits = 0.0;
+  for (Modulation m : carriers_) bits += efd::plc::bits_per_symbol(m);
+  bits /= robo_repetitions_;
+  bits_per_symbol_ = bits;
+  phy_rate_mbps_ = bits * fec_rate_ / symbol_us_;
+  ble_mbps_ = phy_rate_mbps_ * (1.0 - expected_pberr_);
+}
+
+ToneMap ToneMap::from_snr(std::span<const double> snr_db, double margin_db,
+                          const PhyParams& phy, double expected_pberr,
+                          std::uint32_t id) {
+  ToneMap tm;
+  tm.fec_rate_ = phy.fec_rate;
+  tm.symbol_us_ = phy.symbol.us();
+  tm.expected_pberr_ = expected_pberr;
+  tm.id_ = id;
+  tm.carriers_.reserve(snr_db.size());
+  for (double snr : snr_db) {
+    tm.carriers_.push_back(pick_modulation(snr - margin_db));
+  }
+  tm.recompute();
+  return tm;
+}
+
+ToneMap ToneMap::from_carriers(std::vector<Modulation> carriers, const PhyParams& phy,
+                               double expected_pberr, std::uint32_t id) {
+  ToneMap tm;
+  tm.fec_rate_ = phy.fec_rate;
+  tm.symbol_us_ = phy.symbol.us();
+  tm.expected_pberr_ = expected_pberr;
+  tm.id_ = id;
+  tm.carriers_ = std::move(carriers);
+  tm.recompute();
+  return tm;
+}
+
+ToneMap ToneMap::robo(const PhyParams& phy, const RoboMode& robo) {
+  ToneMap tm;
+  tm.fec_rate_ = 0.5;  // ROBO uses the robust rate-1/2 code
+  tm.symbol_us_ = phy.symbol.us();
+  tm.expected_pberr_ = 0.0;
+  tm.id_ = 0;
+  tm.robo_repetitions_ = robo.repetitions;
+  tm.carriers_.assign(static_cast<std::size_t>(phy.band.n_carriers),
+                      Modulation::kQpsk);
+  tm.recompute();
+  return tm;
+}
+
+double ToneMap::pb_error_probability(std::span<const double> actual_snr_db,
+                                     const PhyParams& phy) const {
+  (void)phy;
+  assert(actual_snr_db.size() == carriers_.size());
+  if (robo_repetitions_ > 1) {
+    // ROBO interleaves each bit's copies across *different* carriers, so a
+    // copy landing in a deep notch is rescued by copies on clean carriers:
+    // combining approximates summing the linear SNRs of the copies, i.e.
+    // repetitions times the mean linear SNR. This is what makes broadcast
+    // frames decodable on links whose data quality is poor (§8.1).
+    double mean_linear = 0.0;
+    for (double snr : actual_snr_db) {
+      mean_linear += std::pow(10.0, snr / 10.0);
+    }
+    mean_linear /= static_cast<double>(actual_snr_db.size());
+    const double combined_db =
+        10.0 * std::log10(robo_repetitions_ * std::max(1e-6, mean_linear));
+    const double ber =
+        uncoded_ber(Modulation::kQpsk, combined_db + kCodingGainDb);
+    return fec_waterfall(ber);
+  }
+  double weighted_ber = 0.0;
+  double total_bits = 0.0;
+  for (std::size_t i = 0; i < carriers_.size(); ++i) {
+    const int b = efd::plc::bits_per_symbol(carriers_[i]);
+    if (b == 0) continue;
+    const double eff_snr = actual_snr_db[i] + kCodingGainDb;
+    weighted_ber += uncoded_ber(carriers_[i], eff_snr) * b;
+    total_bits += b;
+  }
+  if (total_bits == 0.0) return 1.0;  // nothing loaded: undecodable
+  return fec_waterfall(weighted_ber / total_bits);
+}
+
+double ToneMapSet::average_ble_mbps() const {
+  if (slots.empty()) return robo.ble_mbps();
+  double sum = 0.0;
+  for (const ToneMap& tm : slots) sum += tm.ble_mbps();
+  return sum / static_cast<double>(slots.size());
+}
+
+}  // namespace efd::plc

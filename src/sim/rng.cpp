@@ -1,0 +1,3 @@
+// Rng is header-only; this translation unit exists so the library has a
+// stable archive member even if all other sources become header-only.
+#include "src/sim/rng.hpp"

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace efd::sim {
+
+/// Seeded random-number source. Every stochastic component takes an `Rng`
+/// (or forks one) so that whole experiments are reproducible from a single
+/// seed. `fork` derives an independent, deterministic substream, which keeps
+/// results stable when unrelated components add or remove draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_base_(mix(seed)), engine_(seed_base_) {}
+
+  /// Derive an independent substream for component `stream`.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    return Rng{seed_base_ ^ mix(0x9e3779b97f4a7c15ULL * (stream + 1))};
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>{0.0, 1.0}(engine_); }
+
+  /// Uniform double in [a, b).
+  double uniform(double a, double b) {
+    return std::uniform_real_distribution<double>{a, b}(engine_);
+  }
+
+  /// Uniform integer in [a, b] inclusive.
+  std::int64_t uniform_int(std::int64_t a, std::int64_t b) {
+    return std::uniform_int_distribution<std::int64_t>{a, b}(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>{mean, stddev}(engine_);
+  }
+
+  /// Exponential with the given mean (not rate).
+  double exponential_mean(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  /// Log-normal such that the *linear-scale* mean is `mean` with spread
+  /// factor `sigma_log` in natural-log units.
+  double lognormal(double mean, double sigma_log) {
+    const double mu = std::log(mean) - 0.5 * sigma_log * sigma_log;
+    return std::lognormal_distribution<double>{mu, sigma_log}(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    // splitmix64 finalizer: decorrelates adjacent seeds.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t seed_base_ = 0;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace efd::sim

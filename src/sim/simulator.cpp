@@ -1,0 +1,49 @@
+#include "src/sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace efd::sim {
+
+EventHandle Simulator::at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  Event ev{t, seq_++, std::move(fn), std::make_shared<bool>(false),
+           std::make_shared<bool>(false)};
+  EventHandle h;
+  h.cancelled_ = ev.cancelled;
+  h.fired_ = ev.fired;
+  queue_.push(std::move(ev));
+  return h;
+}
+
+void Simulator::run_until(Time end) {
+  while (!queue_.empty() && queue_.top().t <= end) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    if (*ev.cancelled) continue;
+    *ev.fired = true;
+    ++dispatched_;
+    ev.fn();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    if (*ev.cancelled) continue;
+    *ev.fired = true;
+    ++dispatched_;
+    ev.fn();
+  }
+}
+
+void Simulator::reset() {
+  queue_ = {};
+  now_ = Time{};
+}
+
+}  // namespace efd::sim

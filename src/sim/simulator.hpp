@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace efd::sim {
+
+/// Handle to a scheduled event; allows cancellation. Copies share state, so a
+/// handle can be stashed by the component that scheduled the event and
+/// cancelled later (e.g. a retransmission timer disarmed by a SACK).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Idempotent.
+  void cancel() { if (cancelled_) *cancelled_ = true; }
+
+  /// True if the handle refers to an event that is still pending.
+  [[nodiscard]] bool pending() const { return cancelled_ && !*cancelled_ && !*fired_; }
+
+ private:
+  friend class Simulator;
+  std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<bool> fired_;
+};
+
+/// Discrete-event simulator: a clock plus a time-ordered queue of callbacks.
+/// Events scheduled for the same instant fire in scheduling order (FIFO),
+/// which keeps MAC-layer tie-breaking deterministic.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must not be in the past).
+  EventHandle at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` after a relative delay from now.
+  EventHandle after(Time delay, std::function<void()> fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  /// Run events until the queue drains or the clock would pass `end`.
+  /// The clock is left at `end` (or at the last event if the queue drained).
+  void run_until(Time end);
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Number of events dispatched since construction.
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Drop all pending events and reset the clock to zero.
+  void reset();
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<bool> fired;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_{};
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace efd::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace efd::sim {
+
+/// Streaming mean / variance / min / max (Welford's algorithm). Used for
+/// every "average and standard deviation over an experiment" number in the
+/// paper's figures.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Empirical CDF over a sample set; evaluation and inverse (quantiles).
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// F(x): fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse CDF; q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const { return samples_; }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;  // sorted ascending
+};
+
+/// Result of an ordinary least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+/// Least-squares line through (x[i], y[i]). Requires x.size() == y.size() >= 2.
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation coefficient; 0 if either series is constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace efd::sim

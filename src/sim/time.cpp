@@ -1,0 +1,23 @@
+#include "src/sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace efd::sim {
+
+std::string Time::str() const {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", seconds());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ms());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace efd::sim

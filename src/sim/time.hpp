@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace efd::sim {
+
+/// Simulation time, an integer count of nanoseconds since the start of the
+/// simulation. An integer representation avoids the floating-point drift
+/// that plagues long (multi-day) simulated experiments.
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time d) { ns_ += d.ns_; return *this; }
+  constexpr Time& operator-=(Time d) { ns_ -= d.ns_; return *this; }
+
+  /// Time remaining until `t`, saturating at zero for past instants.
+  [[nodiscard]] constexpr Time until(Time t) const {
+    return Time{t.ns_ > ns_ ? t.ns_ - ns_ : 0};
+  }
+
+  /// Human-readable rendering, e.g. "12.500ms".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr Time operator+(Time a, Time b) { return Time{a.ns() + b.ns()}; }
+constexpr Time operator-(Time a, Time b) { return Time{a.ns() - b.ns()}; }
+constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns() * k}; }
+constexpr Time operator*(std::int64_t k, Time a) { return a * k; }
+constexpr std::int64_t operator/(Time a, Time b) { return a.ns() / b.ns(); }
+
+constexpr Time nanoseconds(std::int64_t n) { return Time{n}; }
+constexpr Time microseconds(double u) { return Time{static_cast<std::int64_t>(u * 1e3)}; }
+constexpr Time milliseconds(double m) { return Time{static_cast<std::int64_t>(m * 1e6)}; }
+constexpr Time seconds(double s) { return Time{static_cast<std::int64_t>(s * 1e9)}; }
+constexpr Time minutes(double m) { return seconds(m * 60.0); }
+constexpr Time hours(double h) { return seconds(h * 3600.0); }
+constexpr Time days(double d) { return hours(d * 24.0); }
+
+}  // namespace efd::sim

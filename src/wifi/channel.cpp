@@ -1,0 +1,75 @@
+#include "src/wifi/channel.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/grid/value_noise.hpp"
+
+namespace efd::wifi {
+
+namespace {
+std::uint64_t link_stream(std::uint64_t seed, net::StationId a, net::StationId b) {
+  return seed ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+}
+std::uint64_t pair_stream(std::uint64_t seed, net::StationId a, net::StationId b) {
+  // Symmetric in (a, b): shadowing and fading affect both directions alike.
+  if (a > b) std::swap(a, b);
+  return link_stream(seed, a, b);
+}
+}  // namespace
+
+void WifiChannel::place_station(net::StationId id, double x, double y) {
+  pos_[id] = {x, y};
+}
+
+void WifiChannel::add_wall(double x_m, double loss_db) {
+  walls_.push_back({x_m, loss_db});
+}
+
+double WifiChannel::distance_m(net::StationId a, net::StationId b) const {
+  const auto ia = pos_.find(a);
+  const auto ib = pos_.find(b);
+  assert(ia != pos_.end() && ib != pos_.end() && "station not placed");
+  const double dx = ia->second.x - ib->second.x;
+  const double dy = ia->second.y - ib->second.y;
+  return std::max(1.0, std::hypot(dx, dy));
+}
+
+double WifiChannel::mean_snr_db(net::StationId a, net::StationId b) const {
+  const double d = distance_m(a, b);
+  double pl =
+      cfg_.path_loss_ref_db + 10.0 * cfg_.path_loss_exponent * std::log10(d);
+  const double xa = pos_.at(a).x;
+  const double xb = pos_.at(b).x;
+  for (const Wall& w : walls_) {
+    if ((xa - w.x) * (xb - w.x) < 0.0) pl += w.loss_db;
+  }
+  // Fixed per-pair shadowing (walls, furniture) — symmetric.
+  const double shadow =
+      cfg_.shadowing_sigma_db *
+      (2.0 * grid::ValueNoise::hash01(pair_stream(cfg_.seed, a, b), 7) - 1.0) * 1.5;
+  // Small direction-dependent skew (receiver noise figure): WiFi links are
+  // mildly asymmetric (§5), far less than PLC.
+  const double skew =
+      cfg_.asymmetry_sigma_db *
+      (2.0 * grid::ValueNoise::hash01(link_stream(cfg_.seed ^ 0xa5, a, b), 9) - 1.0);
+  return cfg_.tx_power_dbm - pl - cfg_.noise_floor_dbm + shadow + skew;
+}
+
+double WifiChannel::snr_db(net::StationId a, net::StationId b, sim::Time t) const {
+  const std::uint64_t fade_seed = pair_stream(cfg_.seed ^ 0xfade, a, b);
+  const double x = t.seconds() / cfg_.fading_scale.seconds();
+  double snr = mean_snr_db(a, b) +
+               cfg_.fading_db * grid::ValueNoise::fractal(fade_seed, x, 3);
+  // Interference / deep-fade bursts in fixed windows.
+  const auto window = cfg_.burst_duration;
+  const auto idx = t.ns() / window.ns();
+  const double p = cfg_.burst_rate_hz * window.seconds();
+  if (grid::ValueNoise::hash01(fade_seed ^ 0xb1157ULL, idx) < p) {
+    snr -= cfg_.burst_depth_db;
+  }
+  return snr;
+}
+
+}  // namespace efd::wifi

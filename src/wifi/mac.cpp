@@ -1,0 +1,240 @@
+#include "src/wifi/mac.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace efd::wifi {
+
+// --------------------------------------------------------------------------
+// WifiMedium
+// --------------------------------------------------------------------------
+
+WifiMedium::WifiMedium(sim::Simulator& simulator, const WifiChannel& channel,
+                       sim::Rng rng)
+    : sim_(simulator), channel_(channel), rng_(rng) {}
+
+void WifiMedium::register_mac(WifiMac& mac) { macs_.push_back(&mac); }
+
+void WifiMedium::add_mcs_listener(std::function<void(const McsRecord&)> fn) {
+  listeners_.push_back(std::move(fn));
+}
+
+void WifiMedium::notify_ready(WifiMac&) {
+  if (!busy_ && !contention_scheduled_) schedule_contention();
+}
+
+void WifiMedium::schedule_contention() {
+  contention_scheduled_ = true;
+  sim_.after(kDifs, [this] { resolve_contention(); });
+}
+
+void WifiMedium::resolve_contention() {
+  contention_scheduled_ = false;
+  if (busy_) return;
+  std::vector<WifiMac*> contenders;
+  for (WifiMac* m : macs_) {
+    if (m->has_pending()) contenders.push_back(m);
+  }
+  if (contenders.empty()) return;
+
+  int min_backoff = std::numeric_limits<int>::max();
+  for (WifiMac* m : contenders) {
+    min_backoff = std::min(min_backoff, m->current_backoff());
+  }
+  std::vector<WifiMac*> winners;
+  for (WifiMac* m : contenders) {
+    if (m->current_backoff() == min_backoff) {
+      winners.push_back(m);
+    } else {
+      m->on_medium_busy(min_backoff);
+    }
+  }
+  busy_ = true;
+  const sim::Time tx_start = sim_.now() + (min_backoff + 1) * kSlot;
+  sim_.at(tx_start, [this, winners] {
+    std::vector<WifiFrame> frames;
+    frames.reserve(winners.size());
+    for (WifiMac* m : winners) frames.push_back(m->build_frame(sim_.now()));
+    finish_round(std::move(frames), winners);
+  });
+}
+
+void WifiMedium::finish_round(std::vector<WifiFrame> frames,
+                              std::vector<WifiMac*> senders) {
+  const bool collision = frames.size() > 1;
+  if (collision) ++collisions_;
+
+  sim::Time payload_end = frames[0].end;
+  for (const WifiFrame& f : frames) payload_end = std::max(payload_end, f.end);
+
+  for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+    const WifiFrame& f = frames[fi];
+    WifiMac* sender = senders[fi];
+    for (const auto& fn : listeners_) {
+      fn(McsRecord{f.start, f.src, f.dst, f.mcs, Mcs::rate_mbps(f.mcs)});
+    }
+
+    WifiMac* rx_mac = nullptr;
+    for (WifiMac* m : macs_) {
+      if (m->id() == f.dst) {
+        rx_mac = m;
+        break;
+      }
+    }
+    bool decodable = rx_mac != nullptr;
+    if (decodable && collision) {
+      const double own = channel_.snr_db(f.src, f.dst, f.start);
+      double worst = -1e9;
+      for (std::size_t gi = 0; gi < frames.size(); ++gi) {
+        if (gi == fi) continue;
+        worst = std::max(worst, channel_.snr_db(frames[gi].src, f.dst, f.start));
+      }
+      decodable = own - worst >= kCaptureThresholdDb;
+    }
+
+    if (decodable) {
+      const double snr = channel_.snr_db(f.src, f.dst, f.start);
+      const double p = Mcs::mpdu_error_probability(f.mcs, snr);
+      std::vector<int> failed;
+      for (std::size_t i = 0; i < f.mpdus.size(); ++i) {
+        if (rng_.bernoulli(p)) failed.push_back(static_cast<int>(i));
+      }
+      rx_mac->on_frame_received(f, failed, payload_end);
+      const sim::Time ack_end = payload_end + kSifs + sender->config().blockack;
+      sim_.at(ack_end, [sender, f, failed] { sender->on_block_ack(f, failed); });
+    } else {
+      const sim::Time timeout = payload_end + kSifs + sender->config().blockack;
+      sim_.at(timeout, [sender, f] { sender->on_no_ack(f); });
+    }
+  }
+
+  const sim::Time idle_at =
+      payload_end + kSifs + senders[0]->config().blockack;
+  sim_.at(idle_at, [this] {
+    busy_ = false;
+    for (WifiMac* m : macs_) {
+      if (m->has_pending()) {
+        schedule_contention();
+        break;
+      }
+    }
+  });
+}
+
+// --------------------------------------------------------------------------
+// WifiMac
+// --------------------------------------------------------------------------
+
+WifiMac::WifiMac(sim::Simulator& simulator, WifiMedium& medium,
+                 const WifiChannel& channel, net::StationId self, sim::Rng rng,
+                 Config config)
+    : sim_(simulator),
+      medium_(medium),
+      channel_(channel),
+      self_(self),
+      rng_(rng),
+      cfg_(config),
+      cw_(config.cw_min) {}
+
+bool WifiMac::enqueue(const net::Packet& p) {
+  if (queue_.size() >= cfg_.queue_limit) {
+    ++drops_;
+    return false;
+  }
+  queue_.push_back(p);
+  retry_counts_.push_back(0);
+  if (queue_.size() == 1) medium_.notify_ready(*this);
+  return true;
+}
+
+void WifiMac::redraw_backoff() {
+  backoff_ = static_cast<int>(rng_.uniform_int(0, cw_ - 1));
+}
+
+int WifiMac::current_backoff() {
+  if (backoff_ < 0) redraw_backoff();
+  return backoff_;
+}
+
+void WifiMac::on_medium_busy(int slots_elapsed) {
+  // 802.11: the counter freezes during busy and resumes; no stage change.
+  if (backoff_ >= 0) backoff_ = std::max(0, backoff_ - slots_elapsed);
+}
+
+WifiFrame WifiMac::build_frame(sim::Time now) {
+  assert(!queue_.empty());
+  WifiFrame f;
+  f.src = self_;
+  f.dst = queue_.front().dst;
+  f.start = now;
+
+  // Rate control: a stale, noisy view of the receiver SNR (the transmitter
+  // learns the channel from acked history, not from the instant of TX).
+  const sim::Time stale_at =
+      now >= cfg_.snr_staleness ? now - cfg_.snr_staleness : sim::Time{};
+  const double est_snr = channel_.snr_db(self_, f.dst, stale_at) +
+                         rng_.normal(0.0, cfg_.snr_noise_db);
+  int mcs = Mcs::pick(est_snr - cfg_.margin_db);
+  if (mcs < 0) mcs = 0;  // no sustainable MCS: transmit robust and fail
+  f.mcs = mcs;
+
+  const double rate_mbps = Mcs::rate_mbps(mcs);
+  sim::Time airtime = cfg_.preamble;
+  while (!queue_.empty() && static_cast<int>(f.mpdus.size()) < cfg_.max_ampdu) {
+    if (queue_.front().dst != f.dst) break;
+    const auto mpdu_air = sim::microseconds(
+        static_cast<double>(queue_.front().size_bytes + 40) * 8.0 / rate_mbps);
+    if (!f.mpdus.empty() && airtime + mpdu_air > cfg_.max_airtime) break;
+    airtime += mpdu_air;
+    f.mpdus.push_back(queue_.front());
+    f.retries.push_back(retry_counts_.front());
+    queue_.pop_front();
+    retry_counts_.pop_front();
+  }
+  f.end = now + airtime;
+  return f;
+}
+
+void WifiMac::on_block_ack(const WifiFrame& frame, const std::vector<int>& failed) {
+  cw_ = cfg_.cw_min;
+  backoff_ = -1;
+  for (auto it = failed.rbegin(); it != failed.rend(); ++it) {
+    const auto i = static_cast<std::size_t>(*it);
+    if (frame.retries[i] >= cfg_.max_retries) {
+      ++drops_;
+      continue;
+    }
+    queue_.push_front(frame.mpdus[i]);
+    retry_counts_.push_front(frame.retries[i] + 1);
+  }
+  if (!queue_.empty()) medium_.notify_ready(*this);
+}
+
+void WifiMac::on_no_ack(const WifiFrame& frame) {
+  cw_ = std::min(cw_ * 2, cfg_.cw_max);
+  for (auto i = frame.mpdus.size(); i-- > 0;) {
+    if (frame.retries[i] >= cfg_.max_retries) {
+      ++drops_;
+      continue;
+    }
+    queue_.push_front(frame.mpdus[i]);
+    retry_counts_.push_front(frame.retries[i] + 1);
+  }
+  redraw_backoff();
+  if (!queue_.empty()) medium_.notify_ready(*this);
+}
+
+void WifiMac::on_frame_received(const WifiFrame& frame, const std::vector<int>& failed,
+                                sim::Time now) {
+  std::vector<bool> bad(frame.mpdus.size(), false);
+  for (int i : failed) bad[static_cast<std::size_t>(i)] = true;
+  for (std::size_t i = 0; i < frame.mpdus.size(); ++i) {
+    if (bad[i]) continue;
+    ++delivered_;
+    if (rx_) rx_(frame.mpdus[i], now);
+  }
+}
+
+}  // namespace efd::wifi

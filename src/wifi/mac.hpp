@@ -1,0 +1,142 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/net/interface.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/wifi/channel.hpp"
+#include "src/wifi/mcs.hpp"
+
+namespace efd::wifi {
+
+class WifiMac;
+
+/// An 802.11 A-MPDU on the air.
+struct WifiFrame {
+  net::StationId src = 0;
+  net::StationId dst = 0;
+  std::vector<net::Packet> mpdus;
+  std::vector<int> retries;  ///< per-MPDU retry count, parallel to mpdus
+  int mcs = 0;
+  sim::Time start;
+  sim::Time end;
+};
+
+/// Record of a transmitted frame's rate selection — the 802.11n frame
+/// control exposes the MCS index, which the paper uses as the WiFi capacity
+/// metric (Table 2).
+struct McsRecord {
+  sim::Time t;
+  net::StationId src = 0;
+  net::StationId dst = 0;
+  int mcs = 0;
+  double phy_rate_mbps = 0.0;
+};
+
+/// 802.11 DCF contention domain (one BSS channel). Same tournament
+/// arbitration as the PLC medium, but with the plain binary-exponential
+/// backoff of 802.11: sensing the medium busy never escalates the stage —
+/// the key MAC difference from IEEE 1901 (§2.2).
+class WifiMedium {
+ public:
+  static constexpr sim::Time kSlot = sim::microseconds(9.0);
+  static constexpr sim::Time kDifs = sim::microseconds(34.0);
+  static constexpr sim::Time kSifs = sim::microseconds(16.0);
+  static constexpr double kCaptureThresholdDb = 10.0;
+
+  WifiMedium(sim::Simulator& simulator, const WifiChannel& channel, sim::Rng rng);
+
+  void register_mac(WifiMac& mac);
+  void notify_ready(WifiMac& mac);
+  void add_mcs_listener(std::function<void(const McsRecord&)> fn);
+
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  void schedule_contention();
+  void resolve_contention();
+  void finish_round(std::vector<WifiFrame> frames, std::vector<WifiMac*> senders);
+
+  sim::Simulator& sim_;
+  const WifiChannel& channel_;
+  mutable sim::Rng rng_;
+  std::vector<WifiMac*> macs_;
+  std::vector<std::function<void(const McsRecord&)>> listeners_;
+  bool busy_ = false;
+  bool contention_scheduled_ = false;
+  std::uint64_t collisions_ = 0;
+};
+
+/// 802.11n MAC for one station: DCF backoff, A-MPDU aggregation with
+/// BlockAck and per-MPDU retransmission, and SNR-driven rate selection
+/// (the transmitter tracks a slightly stale, noisy SNR estimate — which is
+/// what makes WiFi capacity jumpy compared to PLC's per-carrier adaptation).
+class WifiMac final : public net::Interface {
+ public:
+  struct Config {
+    std::size_t queue_limit = 200;   ///< packets
+    int cw_min = 16;
+    int cw_max = 1024;
+    int max_retries = 7;
+    int max_ampdu = 16;              ///< MPDUs per aggregate
+    sim::Time max_airtime = sim::milliseconds(2.0);
+    sim::Time preamble = sim::microseconds(60.0);
+    sim::Time blockack = sim::microseconds(80.0);
+    /// Rate-control estimate: staleness and measurement noise.
+    sim::Time snr_staleness = sim::milliseconds(50.0);
+    double snr_noise_db = 1.2;
+    double margin_db = 1.0;
+  };
+
+  WifiMac(sim::Simulator& simulator, WifiMedium& medium, const WifiChannel& channel,
+          net::StationId self, sim::Rng rng, Config config);
+
+  // net::Interface
+  bool enqueue(const net::Packet& p) override;
+  [[nodiscard]] std::size_t queue_length() const override { return queue_.size(); }
+  void set_rx_handler(RxHandler handler) override { rx_ = std::move(handler); }
+  void clear_queue() override {
+    queue_.clear();
+    retry_counts_.clear();
+  }
+
+  [[nodiscard]] net::StationId id() const { return self_; }
+
+  // Medium hooks.
+  [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+  [[nodiscard]] int current_backoff();
+  void on_medium_busy(int slots_elapsed);
+  [[nodiscard]] WifiFrame build_frame(sim::Time now);
+  void on_block_ack(const WifiFrame& frame, const std::vector<int>& failed);
+  void on_no_ack(const WifiFrame& frame);
+  void on_frame_received(const WifiFrame& frame, const std::vector<int>& failed,
+                         sim::Time now);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return drops_; }
+
+ private:
+  void redraw_backoff();
+
+  sim::Simulator& sim_;
+  WifiMedium& medium_;
+  const WifiChannel& channel_;
+  net::StationId self_;
+  sim::Rng rng_;
+  Config cfg_;
+  RxHandler rx_;
+
+  std::deque<net::Packet> queue_;
+  std::deque<int> retry_counts_;  ///< parallel to queue_
+  int cw_ = 16;
+  int backoff_ = -1;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace efd::wifi

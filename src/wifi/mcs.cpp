@@ -1,0 +1,45 @@
+#include "src/wifi/mcs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace efd::wifi {
+
+namespace {
+// 20 MHz, 800 ns GI. MCS 8-15 are the two-stream duplicates of 0-7.
+constexpr double kRates[Mcs::kCount] = {
+    6.5,  13.0, 19.5, 26.0, 39.0,  52.0,  58.5,  65.0,
+    13.0, 26.0, 39.0, 52.0, 78.0, 104.0, 117.0, 130.0,
+};
+// Receiver sensitivity ladder (dB SNR). Two-stream indices need a few dB
+// more than their single-stream twins for the same constellation.
+constexpr double kSnr[Mcs::kCount] = {
+    3.0,  6.0,  9.0,  12.0, 15.5, 19.5, 21.5, 23.5,
+    6.0,  9.0,  12.0, 15.0, 18.5, 22.5, 24.5, 26.5,
+};
+}  // namespace
+
+double Mcs::rate_mbps(int index) { return kRates[index]; }
+
+double Mcs::required_snr_db(int index) { return kSnr[index]; }
+
+int Mcs::pick(double snr_db) {
+  int best = -1;
+  double best_rate = 0.0;
+  for (int i = 0; i < kCount; ++i) {
+    if (snr_db >= kSnr[i] && kRates[i] > best_rate) {
+      best = i;
+      best_rate = kRates[i];
+    }
+  }
+  return best;
+}
+
+double Mcs::mpdu_error_probability(int index, double snr_db) {
+  // Logistic waterfall around the sensitivity threshold: ~2 dB of margin
+  // makes an MPDU safe, ~3 dB of deficit loses nearly all of them.
+  const double margin = snr_db - kSnr[index];
+  return std::clamp(1.0 / (1.0 + std::exp(2.2 * margin)), 0.0, 1.0);
+}
+
+}  // namespace efd::wifi

@@ -1,0 +1,30 @@
+#pragma once
+
+namespace efd::wifi {
+
+/// 802.11n modulation-and-coding-scheme table for 20 MHz channels, long
+/// guard interval, up to 2 spatial streams — the paper's configuration
+/// (§4.1 footnote: "2 spatial streams, 20 MHz, max PHY rate 130 Mbps").
+/// Contrary to PLC, one MCS applies to *all* carriers (§2.1), which is why
+/// WiFi reacts to narrowband trouble by lowering the whole link rate.
+struct Mcs {
+  static constexpr int kCount = 16;  ///< MCS 0-15
+
+  /// PHY rate in Mb/s for the given index.
+  static double rate_mbps(int index);
+
+  /// Minimum link SNR (dB) at which the index sustains a low error rate.
+  static double required_snr_db(int index);
+
+  /// Number of spatial streams used by the index (1 for 0-7, 2 for 8-15).
+  static int streams(int index) { return index < 8 ? 1 : 2; }
+
+  /// Highest index whose threshold is at or below `snr_db`, or -1 when even
+  /// MCS 0 cannot be sustained (no connectivity — a "blind spot").
+  static int pick(double snr_db);
+
+  /// Frame/MPDU error probability when using `index` at actual SNR.
+  static double mpdu_error_probability(int index, double snr_db);
+};
+
+}  // namespace efd::wifi

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "src/wifi/mac.hpp"
+
+namespace efd::wifi {
+
+/// A WiFi BSS-like deployment: one channel, one contention domain, one MAC
+/// per station. Mirrors the paper's setup — every board carries an Atheros
+/// AR9220 interface on a clean frequency (§4.1), so the only interference
+/// is internal plus the channel's own burst model.
+class WifiNetwork {
+ public:
+  struct Config {
+    WifiChannel::Config channel;
+    WifiMac::Config mac;
+  };
+
+  WifiNetwork(sim::Simulator& simulator, sim::Rng rng, Config config);
+  WifiNetwork(sim::Simulator& simulator, sim::Rng rng)
+      : WifiNetwork(simulator, rng, Config{}) {}
+
+  /// Create a station at floor position (x, y) meters.
+  WifiMac& add_station(net::StationId id, double x, double y);
+
+  [[nodiscard]] WifiMac& station(net::StationId id);
+  [[nodiscard]] WifiChannel& channel() { return channel_; }
+  [[nodiscard]] const WifiChannel& channel() const { return channel_; }
+  [[nodiscard]] WifiMedium& medium() { return medium_; }
+
+  /// Capacity estimate from the MCS in the frame control (Table 2): PHY
+  /// rate of the MCS the transmitter currently selects for the link.
+  [[nodiscard]] double mcs_capacity_mbps(net::StationId a, net::StationId b,
+                                         sim::Time t) const;
+
+ private:
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  Config cfg_;
+  WifiChannel channel_;
+  WifiMedium medium_;
+  std::map<net::StationId, std::unique_ptr<WifiMac>> stations_;
+  std::uint64_t rng_streams_ = 0;
+};
+
+}  // namespace efd::wifi

@@ -1,0 +1,93 @@
+#include "src/core/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/guidelines.hpp"
+
+namespace efd::core {
+namespace {
+
+TEST(BleCapacityEstimator, DefaultFitMatchesPaper) {
+  const BleCapacityEstimator est;
+  EXPECT_DOUBLE_EQ(est.fit().slope, 1.7);
+  EXPECT_DOUBLE_EQ(est.fit().intercept, -0.65);
+}
+
+TEST(BleCapacityEstimator, RoundTrip) {
+  const BleCapacityEstimator est;
+  for (double t = 5.0; t <= 90.0; t += 5.0) {
+    const double ble = est.ble_from_throughput(t);
+    EXPECT_NEAR(est.throughput_from_ble(ble), t, 1e-9);
+  }
+}
+
+TEST(BleCapacityEstimator, NeverNegative) {
+  const BleCapacityEstimator est;
+  EXPECT_DOUBLE_EQ(est.throughput_from_ble(-10.0), 0.0);
+  EXPECT_GE(est.throughput_from_ble(0.0), 0.0);
+}
+
+TEST(BleCapacityEstimator, CustomFit) {
+  const BleCapacityEstimator est({2.0, 1.0});
+  EXPECT_DOUBLE_EQ(est.throughput_from_ble(11.0), 5.0);
+}
+
+TEST(Guidelines, Table3IsComplete) {
+  const auto g = guidelines();
+  ASSERT_EQ(g.size(), 7u);  // seven policies in the paper's Table 3
+  for (const auto& row : g) {
+    EXPECT_FALSE(row.policy.empty());
+    EXPECT_FALSE(row.guideline.empty());
+    EXPECT_FALSE(row.paper_section.empty());
+  }
+  EXPECT_EQ(g[0].policy, "Metrics");
+  EXPECT_EQ(g[1].policy, "Unicast probing only");
+}
+
+struct MmPollerFixture : ::testing::Test {
+  sim::Simulator sim;
+  grid::PowerGrid grid;
+  std::unique_ptr<plc::PlcChannel> channel;
+  std::unique_ptr<plc::PlcNetwork> network;
+
+  void SetUp() override {
+    const int a = grid.add_node("a");
+    const int b = grid.add_node("b");
+    grid.add_cable(a, b, 10.0);
+    channel = std::make_unique<plc::PlcChannel>(grid, plc::PhyParams::hpav());
+    channel->attach_station(0, a);
+    channel->attach_station(1, b);
+    network = std::make_unique<plc::PlcNetwork>(sim, *channel, sim::Rng{5},
+                                                plc::PlcNetwork::Config{});
+    network->add_station(0, a);
+    network->add_station(1, b);
+  }
+};
+
+TEST_F(MmPollerFixture, RateLimitsTo50ms) {
+  MmPoller poller(*network, 0, 1);
+  (void)poller.average_ble_mbps(sim::seconds(1.00));
+  (void)poller.average_ble_mbps(sim::seconds(1.01));
+  (void)poller.average_ble_mbps(sim::seconds(1.04));
+  EXPECT_EQ(poller.mm_count(), 1u);  // two calls served from cache
+  (void)poller.average_ble_mbps(sim::seconds(1.06));
+  EXPECT_EQ(poller.mm_count(), 2u);
+}
+
+TEST_F(MmPollerFixture, BleAndPberrShareOneQuery) {
+  MmPoller poller(*network, 0, 1);
+  (void)poller.average_ble_mbps(sim::seconds(2.0));
+  (void)poller.pberr(sim::seconds(2.0));
+  EXPECT_EQ(poller.mm_count(), 1u);
+}
+
+TEST_F(MmPollerFixture, ReflectsEstimatorState) {
+  auto& est = network->estimator(1, 0);
+  est.on_sound_frame(sim::seconds(1));
+  MmPoller poller(*network, 0, 1);
+  EXPECT_NEAR(poller.average_ble_mbps(sim::seconds(1.1)), est.average_ble_mbps(),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace efd::core

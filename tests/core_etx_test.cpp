@@ -1,0 +1,134 @@
+#include "src/core/etx.hpp"
+
+#include <gtest/gtest.h>
+
+namespace efd::core {
+namespace {
+
+TEST(BroadcastEtx, LossRateAndEtx) {
+  BroadcastEtx etx;
+  etx.sent = 1000;
+  etx.received = 990;
+  EXPECT_NEAR(etx.loss_rate(), 0.01, 1e-12);
+  EXPECT_NEAR(etx.etx(), 1.0 / 0.99, 1e-9);
+}
+
+TEST(BroadcastEtx, NoTrafficIsLossless) {
+  BroadcastEtx etx;
+  EXPECT_DOUBLE_EQ(etx.loss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(etx.etx(), 1.0);
+}
+
+TEST(BroadcastEtx, DeadLinkIsCapped) {
+  BroadcastEtx etx;
+  etx.sent = 100;
+  etx.received = 0;
+  EXPECT_DOUBLE_EQ(etx.loss_rate(), 1.0);
+  EXPECT_GE(etx.etx(), 1e5);
+}
+
+TEST(PredictedUEtx, PerfectChannelIsOneTransmission) {
+  EXPECT_NEAR(predicted_u_etx(0.0, 3), 1.0, 1e-12);
+}
+
+TEST(PredictedUEtx, MonotoneInPberr) {
+  double prev = 0.0;
+  for (double p = 0.0; p <= 0.6; p += 0.05) {
+    const double u = predicted_u_etx(p, 3);
+    EXPECT_GT(u, prev);
+    prev = u;
+  }
+}
+
+TEST(PredictedUEtx, MorePbsNeedMoreTransmissions) {
+  EXPECT_LT(predicted_u_etx(0.2, 1), predicted_u_etx(0.2, 3));
+  EXPECT_LT(predicted_u_etx(0.2, 3), predicted_u_etx(0.2, 10));
+}
+
+TEST(PredictedUEtx, SinglePbMatchesGeometricMean) {
+  // n=1: E[Geom(1-p)] = 1/(1-p).
+  for (double p : {0.1, 0.3, 0.5}) {
+    EXPECT_NEAR(predicted_u_etx(p, 1), 1.0 / (1.0 - p), 1e-6);
+  }
+}
+
+TEST(PredictedUEtx, PaperRangeIsModest) {
+  // Fig. 22: PBerr up to 0.4 maps to U-ETX around 1-2.5 for 3-PB packets.
+  const double u = predicted_u_etx(0.4, 3);
+  EXPECT_GT(u, 1.5);
+  EXPECT_LT(u, 3.0);
+}
+
+std::vector<plc::SofRecord> synthetic_records(
+    const std::vector<double>& start_times_ms) {
+  std::vector<plc::SofRecord> records;
+  for (double t : start_times_ms) {
+    plc::SofRecord r;
+    r.start = sim::milliseconds(t);
+    r.end = r.start + sim::microseconds(500);
+    r.src = 0;
+    r.dst = 1;
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(RetransmissionAnalysis, NoRetransmissions) {
+  // Frames 75 ms apart: all are new transmissions (window is 10 ms).
+  const auto records = synthetic_records({0, 75, 150, 225});
+  const auto result = RetransmissionAnalysis{}.analyze(records);
+  EXPECT_EQ(result.new_transmissions, 4u);
+  EXPECT_EQ(result.retransmissions, 0u);
+  EXPECT_DOUBLE_EQ(result.u_etx(), 1.0);
+  EXPECT_DOUBLE_EQ(result.tx_count_stddev(), 0.0);
+}
+
+TEST(RetransmissionAnalysis, DetectsCloseFramesAsRetransmissions) {
+  // Packet at 0 ms retransmitted at 3 and 6 ms; next packet at 75 ms.
+  const auto records = synthetic_records({0, 3, 6, 75});
+  const auto result = RetransmissionAnalysis{}.analyze(records);
+  EXPECT_EQ(result.new_transmissions, 2u);
+  EXPECT_EQ(result.retransmissions, 2u);
+  ASSERT_EQ(result.tx_counts.size(), 2u);
+  EXPECT_EQ(result.tx_counts[0], 3);
+  EXPECT_EQ(result.tx_counts[1], 1);
+  EXPECT_DOUBLE_EQ(result.u_etx(), 2.0);
+}
+
+TEST(RetransmissionAnalysis, WindowBoundaryIsExclusive) {
+  const auto records = synthetic_records({0, 10, 25});
+  const auto result = RetransmissionAnalysis{}.analyze(records);
+  // Exactly 10 ms apart: not within the window.
+  EXPECT_EQ(result.retransmissions, 0u);
+}
+
+TEST(RetransmissionAnalysis, EmptyInput) {
+  const auto result = RetransmissionAnalysis{}.analyze({});
+  EXPECT_EQ(result.new_transmissions, 0u);
+  EXPECT_DOUBLE_EQ(result.u_etx(), 0.0);
+}
+
+TEST(UnicastEtxEstimator, WrapsAnalysis) {
+  UnicastEtxEstimator est;
+  const auto records = synthetic_records({0, 2, 75, 150, 152, 154});
+  const auto result = est.analyze(records);
+  EXPECT_EQ(result.new_transmissions, 3u);
+  EXPECT_EQ(result.retransmissions, 3u);
+  EXPECT_DOUBLE_EQ(result.u_etx(), 2.0);
+}
+
+class UEtxParamSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UEtxParamSweep, PredictionIsFiniteAndAboveOne) {
+  const double p = GetParam();
+  const double u = predicted_u_etx(p, 3);
+  EXPECT_GE(u, 1.0);
+  EXPECT_LT(u, 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PberrGrid, UEtxParamSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4,
+                                           0.6, 0.9));
+
+}  // namespace
+}  // namespace efd::core

@@ -1,0 +1,124 @@
+#include "src/core/probing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace efd::core {
+namespace {
+
+std::vector<BleSample> constant_trace(double ble, double seconds,
+                                      sim::Time step = sim::milliseconds(50)) {
+  std::vector<BleSample> trace;
+  for (sim::Time t{}; t < sim::seconds(seconds); t += step) {
+    trace.push_back({t, ble});
+  }
+  return trace;
+}
+
+TEST(LinkQualityClassifier, PaperThresholds) {
+  const LinkQualityClassifier c;
+  EXPECT_EQ(c.classify(30.0), LinkQuality::kBad);
+  EXPECT_EQ(c.classify(59.9), LinkQuality::kBad);
+  EXPECT_EQ(c.classify(60.0), LinkQuality::kAverage);
+  EXPECT_EQ(c.classify(100.0), LinkQuality::kAverage);
+  EXPECT_EQ(c.classify(100.1), LinkQuality::kGood);
+  EXPECT_EQ(c.classify(150.0), LinkQuality::kGood);
+}
+
+TEST(FixedIntervalPolicy, IgnoresQuality) {
+  const FixedIntervalPolicy p{sim::seconds(5)};
+  EXPECT_EQ(p.interval(10.0), sim::seconds(5));
+  EXPECT_EQ(p.interval(140.0), sim::seconds(5));
+}
+
+TEST(QualityAdaptivePolicy, PaperIntervals) {
+  const QualityAdaptivePolicy p;
+  EXPECT_EQ(p.interval(30.0), sim::seconds(5));    // bad: base
+  EXPECT_EQ(p.interval(80.0), sim::seconds(40));   // average: 8x slower
+  EXPECT_EQ(p.interval(140.0), sim::seconds(80));  // good: 16x slower
+}
+
+TEST(EvaluatePolicy, ConstantTraceHasZeroError) {
+  const auto trace = constant_trace(100.0, 60.0);
+  const auto eval = evaluate_policy(trace, FixedIntervalPolicy{sim::seconds(5)});
+  ASSERT_FALSE(eval.errors_mbps.empty());
+  for (double e : eval.errors_mbps) EXPECT_DOUBLE_EQ(e, 0.0);
+  EXPECT_EQ(eval.probes, 12u);
+  EXPECT_DOUBLE_EQ(eval.mean_error(), 0.0);
+}
+
+TEST(EvaluatePolicy, ProbeCountScalesInverselyWithInterval) {
+  const auto trace = constant_trace(100.0, 160.0);
+  const auto fast = evaluate_policy(trace, FixedIntervalPolicy{sim::seconds(5)});
+  const auto slow = evaluate_policy(trace, FixedIntervalPolicy{sim::seconds(80)});
+  EXPECT_EQ(fast.probes, 32u);
+  EXPECT_EQ(slow.probes, 2u);
+}
+
+TEST(EvaluatePolicy, AdaptiveReducesOverheadOnGoodLinks) {
+  const auto trace = constant_trace(140.0, 160.0);
+  const auto fixed = evaluate_policy(trace, FixedIntervalPolicy{sim::seconds(5)});
+  const auto adaptive = evaluate_policy(trace, QualityAdaptivePolicy{});
+  EXPECT_LT(adaptive.probes * 10, fixed.probes);  // 16x fewer probes
+}
+
+TEST(EvaluatePolicy, AdaptiveKeepsBadLinksAtBaseRate) {
+  const auto trace = constant_trace(20.0, 160.0);
+  const auto fixed = evaluate_policy(trace, FixedIntervalPolicy{sim::seconds(5)});
+  const auto adaptive = evaluate_policy(trace, QualityAdaptivePolicy{});
+  EXPECT_EQ(adaptive.probes, fixed.probes);
+}
+
+TEST(EvaluatePolicy, StepTraceShowsEstimationError) {
+  // BLE steps from 100 to 60 halfway through a long blind window.
+  std::vector<BleSample> trace;
+  for (sim::Time t{}; t < sim::seconds(80); t += sim::milliseconds(50)) {
+    trace.push_back({t, t < sim::seconds(40) ? 100.0 : 60.0});
+  }
+  const auto slow = evaluate_policy(trace, FixedIntervalPolicy{sim::seconds(80)});
+  ASSERT_EQ(slow.errors_mbps.size(), 1u);
+  EXPECT_NEAR(slow.errors_mbps[0], 20.0, 0.5);  // estimate 100, truth ~80
+  const auto fast = evaluate_policy(trace, FixedIntervalPolicy{sim::seconds(5)});
+  EXPECT_LT(fast.mean_error(), slow.mean_error());
+}
+
+TEST(EvaluatePolicy, EmptyTrace) {
+  const auto eval = evaluate_policy({}, FixedIntervalPolicy{sim::seconds(5)});
+  EXPECT_EQ(eval.probes, 0u);
+  EXPECT_TRUE(eval.errors_mbps.empty());
+}
+
+TEST(EvaluatePolicy, AdaptiveTracksQualityChanges) {
+  // A link that degrades from good to bad mid-trace: the adaptive policy
+  // probes slowly at first, then falls back to the base interval.
+  std::vector<BleSample> trace;
+  for (sim::Time t{}; t < sim::seconds(200); t += sim::milliseconds(50)) {
+    trace.push_back({t, t < sim::seconds(100) ? 140.0 : 30.0});
+  }
+  const auto eval = evaluate_policy(trace, QualityAdaptivePolicy{});
+  // First half: 2 probes (80 s apart); second half: 8 probes (5 s apart
+  // once the drop is noticed at t = 160 s).
+  EXPECT_GE(eval.probes, 9u);
+  EXPECT_LE(eval.probes, 12u);
+}
+
+class IntervalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalSweep, ErrorsAreNonNegativeAndBounded) {
+  std::vector<BleSample> trace;
+  for (sim::Time t{}; t < sim::seconds(120); t += sim::milliseconds(50)) {
+    trace.push_back({t, 80.0 + 20.0 * std::sin(t.seconds() / 7.0)});
+  }
+  const auto eval =
+      evaluate_policy(trace, FixedIntervalPolicy{sim::seconds(GetParam())});
+  for (double e : eval.errors_mbps) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 40.0);  // bounded by the trace swing
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, IntervalSweep, ::testing::Values(1, 5, 20, 80));
+
+}  // namespace
+}  // namespace efd::core

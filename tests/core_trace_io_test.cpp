@@ -1,0 +1,92 @@
+#include "src/core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace efd::core {
+namespace {
+
+std::vector<BleSample> sample_trace() {
+  return {{sim::seconds(0.0), 120.5},
+          {sim::milliseconds(50), 121.25},
+          {sim::milliseconds(100), 119.875}};
+}
+
+TEST(TraceIo, WriteHasHeaderAndRows) {
+  std::ostringstream out;
+  write_ble_trace_csv(out, sample_trace());
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("t_s,ble_mbps\n", 0), 0u);
+  EXPECT_NE(text.find("0.050000,121.250"), std::string::npos);
+}
+
+TEST(TraceIo, RoundTrip) {
+  std::ostringstream out;
+  const auto original = sample_trace();
+  write_ble_trace_csv(out, original);
+  std::istringstream in(out.str());
+  const auto parsed = read_ble_trace_csv(in);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(parsed[i].t.seconds(), original[i].t.seconds(), 1e-6);
+    EXPECT_NEAR(parsed[i].ble_mbps, original[i].ble_mbps, 1e-3);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::ostringstream out;
+  write_ble_trace_csv(out, {});
+  std::istringstream in(out.str());
+  EXPECT_TRUE(read_ble_trace_csv(in).empty());
+}
+
+TEST(TraceIo, MissingHeaderThrows) {
+  std::istringstream in("1.0,2.0\n");
+  EXPECT_THROW((void)read_ble_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedLineThrows) {
+  std::istringstream in("t_s,ble_mbps\n1.0;2.0\n");
+  EXPECT_THROW((void)read_ble_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, BadNumberThrows) {
+  std::istringstream in("t_s,ble_mbps\nabc,def\n");
+  EXPECT_THROW((void)read_ble_trace_csv(in), std::runtime_error);
+}
+
+TEST(TraceIo, BlankLinesIgnored) {
+  std::istringstream in("t_s,ble_mbps\n1.0,2.0\n\n2.0,3.0\n");
+  EXPECT_EQ(read_ble_trace_csv(in).size(), 2u);
+}
+
+TEST(TraceIo, SofRecordsCsv) {
+  plc::SofRecord r;
+  r.start = sim::milliseconds(1.5);
+  r.end = sim::milliseconds(2.5);
+  r.src = 3;
+  r.dst = 7;
+  r.slot = 4;
+  r.ble_mbps = 133.25;
+  r.n_pbs = 12;
+  r.n_symbols = 9;
+  r.robo = false;
+  r.sound = true;
+  r.broadcast = false;
+  std::ostringstream out;
+  write_sof_records_csv(out, {r});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("3,7,4,133.250,12,9,0,1,0"), std::string::npos);
+  EXPECT_EQ(text.rfind("t_start_s,", 0), 0u);
+}
+
+TEST(TraceIo, ToStringMatchesStream) {
+  const auto trace = sample_trace();
+  std::ostringstream out;
+  write_ble_trace_csv(out, trace);
+  EXPECT_EQ(ble_trace_to_string(trace), out.str());
+}
+
+}  // namespace
+}  // namespace efd::core

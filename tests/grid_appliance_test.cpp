@@ -1,0 +1,76 @@
+#include "src/grid/appliance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace efd::grid {
+namespace {
+
+constexpr ApplianceType kAllTypes[] = {
+    ApplianceType::kLightBank,   ApplianceType::kWorkstation,
+    ApplianceType::kMonitor,     ApplianceType::kFridge,
+    ApplianceType::kMicrowave,   ApplianceType::kCoffeeMachine,
+    ApplianceType::kPrinter,     ApplianceType::kHvac,
+    ApplianceType::kPhoneCharger,
+};
+
+class AppliancePresetSweep : public ::testing::TestWithParam<ApplianceType> {};
+
+TEST_P(AppliancePresetSweep, PresetIsPhysicallySane) {
+  const Appliance a = make_appliance(GetParam(), 3, 42);
+  EXPECT_EQ(a.outlet, 3);
+  EXPECT_GT(a.impedance_ohm, 0.0);
+  EXPECT_LT(a.impedance_ohm, 2000.0);
+  EXPECT_GE(a.noise.base_db, 0.0);
+  EXPECT_LE(a.noise.base_db, 30.0);
+  EXPECT_GE(a.noise.sync_db, 0.0);
+  EXPECT_GE(a.noise.jitter_db, 0.0);
+  EXPECT_GE(a.noise.impulse_rate_hz, 0.0);
+  EXPECT_LE(a.noise.color_db_per_mhz, 0.0);  // noise falls with frequency
+  EXPECT_GT(a.branch_delay_us, 0.0);
+  EXPECT_LT(a.branch_delay_us, 1.0);
+  EXPECT_GT(a.notch_depth_db, 0.0);
+}
+
+TEST_P(AppliancePresetSweep, SeedIndividualizes) {
+  const Appliance a = make_appliance(GetParam(), 0, 1);
+  const Appliance b = make_appliance(GetParam(), 0, 2);
+  EXPECT_NE(a.impedance_ohm, b.impedance_ohm);
+  EXPECT_NE(a.branch_delay_us, b.branch_delay_us);
+}
+
+TEST_P(AppliancePresetSweep, SameSeedSamePreset) {
+  const Appliance a = make_appliance(GetParam(), 0, 9);
+  const Appliance b = make_appliance(GetParam(), 0, 9);
+  EXPECT_DOUBLE_EQ(a.impedance_ohm, b.impedance_ohm);
+  EXPECT_DOUBLE_EQ(a.notch_depth_db, b.notch_depth_db);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, AppliancePresetSweep,
+                         ::testing::ValuesIn(kAllTypes));
+
+TEST(Appliance, HeavyLoadsHaveLowImpedance) {
+  // The fridge/microwave class of loads — the asymmetry sources of §5 —
+  // must mismatch the line harder than small electronics.
+  const Appliance fridge = make_appliance(ApplianceType::kFridge, 0, 3);
+  const Appliance charger = make_appliance(ApplianceType::kPhoneCharger, 0, 3);
+  EXPECT_LT(fridge.impedance_ohm, charger.impedance_ohm);
+}
+
+TEST(Appliance, ToStringCoversAllTypes) {
+  for (ApplianceType t : kAllTypes) {
+    EXPECT_NE(to_string(t), "unknown");
+  }
+}
+
+TEST(Appliance, FridgeIsDutyCycled) {
+  const Appliance fridge = make_appliance(ApplianceType::kFridge, 0, 5);
+  EXPECT_EQ(fridge.schedule.kind(), ActivitySchedule::Kind::kDutyCycle);
+}
+
+TEST(Appliance, LightsFollowOfficeSchedule) {
+  const Appliance lights = make_appliance(ApplianceType::kLightBank, 0, 5);
+  EXPECT_EQ(lights.schedule.kind(), ActivitySchedule::Kind::kOfficeLights);
+}
+
+}  // namespace
+}  // namespace efd::grid

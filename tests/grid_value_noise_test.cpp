@@ -1,0 +1,82 @@
+#include "src/grid/value_noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace efd::grid {
+namespace {
+
+TEST(ValueNoise, Hash01Range) {
+  for (int i = -500; i < 500; ++i) {
+    const double h = ValueNoise::hash01(42, i);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LT(h, 1.0);
+  }
+}
+
+TEST(ValueNoise, Hash01Deterministic) {
+  EXPECT_DOUBLE_EQ(ValueNoise::hash01(7, 100), ValueNoise::hash01(7, 100));
+  EXPECT_NE(ValueNoise::hash01(7, 100), ValueNoise::hash01(8, 100));
+  EXPECT_NE(ValueNoise::hash01(7, 100), ValueNoise::hash01(7, 101));
+}
+
+TEST(ValueNoise, SampleRange) {
+  for (double x = -10.0; x < 10.0; x += 0.037) {
+    const double v = ValueNoise::sample(3, x);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ValueNoise, SampleInterpolatesLatticeValues) {
+  const double at5 = ValueNoise::sample(9, 5.0);
+  EXPECT_DOUBLE_EQ(at5, 2.0 * ValueNoise::hash01(9, 5) - 1.0);
+}
+
+TEST(ValueNoise, SampleIsContinuous) {
+  // Adjacent samples differ by at most the lattice swing times the step.
+  double prev = ValueNoise::sample(11, 0.0);
+  for (double x = 0.001; x < 5.0; x += 0.001) {
+    const double cur = ValueNoise::sample(11, x);
+    EXPECT_LT(std::abs(cur - prev), 0.02);
+    prev = cur;
+  }
+}
+
+TEST(ValueNoise, FractalRangeAndDeterminism) {
+  for (double x = 0.0; x < 20.0; x += 0.13) {
+    const double v = ValueNoise::fractal(21, x, 3);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+    EXPECT_DOUBLE_EQ(v, ValueNoise::fractal(21, x, 3));
+  }
+}
+
+TEST(ValueNoise, FractalOctavesAddDetail) {
+  // More octaves => more sign changes over a fixed span.
+  int flips1 = 0, flips4 = 0;
+  double p1 = 0, p4 = 0;
+  for (double x = 0.0; x < 50.0; x += 0.05) {
+    const double v1 = ValueNoise::fractal(5, x, 1);
+    const double v4 = ValueNoise::fractal(5, x, 4);
+    if (v1 * p1 < 0) ++flips1;
+    if (v4 * p4 < 0) ++flips4;
+    p1 = v1;
+    p4 = v4;
+  }
+  EXPECT_GT(flips4, flips1);
+}
+
+TEST(ValueNoise, ZeroMeanOverLongSpan) {
+  double sum = 0.0;
+  int n = 0;
+  for (double x = 0.0; x < 2000.0; x += 0.5) {
+    sum += ValueNoise::sample(33, x);
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace efd::grid

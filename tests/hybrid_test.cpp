@@ -1,0 +1,298 @@
+#include "src/hybrid/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hybrid/link_metrics.hpp"
+#include "src/net/meters.hpp"
+
+namespace efd::hybrid {
+namespace {
+
+/// Interface stub delivering packets after a fixed latency, with a fixed
+/// service rate — a stand-in "medium" for scheduler/reorder tests.
+class PipeInterface final : public net::Interface {
+ public:
+  PipeInterface(sim::Simulator& sim, sim::Time latency) : sim_(sim), latency_(latency) {}
+
+  bool enqueue(const net::Packet& p) override {
+    ++enqueued_;
+    sim_.after(latency_, [this, p] {
+      if (rx_) rx_(p, sim_.now());
+    });
+    return true;
+  }
+  [[nodiscard]] std::size_t queue_length() const override { return 0; }
+  void set_rx_handler(RxHandler handler) override { rx_ = std::move(handler); }
+
+  std::uint64_t enqueued_ = 0;
+
+ private:
+  sim::Simulator& sim_;
+  sim::Time latency_;
+  RxHandler rx_;
+};
+
+TEST(CapacityScheduler, SplitsProportionally) {
+  CapacityScheduler sched{sim::Rng{4}};
+  sched.set_capacities({30.0, 90.0});
+  int counts[2] = {0, 0};
+  net::Packet p;
+  for (int i = 0; i < 20000; ++i) ++counts[sched.pick(p)];
+  EXPECT_NEAR(counts[1] / static_cast<double>(counts[0] + counts[1]), 0.75, 0.02);
+}
+
+TEST(CapacityScheduler, ZeroCapacityInterfaceGetsNothing) {
+  CapacityScheduler sched{sim::Rng{4}};
+  sched.set_capacities({0.0, 50.0});
+  net::Packet p;
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sched.pick(p), 1);
+}
+
+TEST(CapacityScheduler, NoCapacitiesDefaultsToFirst) {
+  CapacityScheduler sched{sim::Rng{4}};
+  net::Packet p;
+  EXPECT_EQ(sched.pick(p), 0);
+}
+
+TEST(RoundRobinScheduler, AlternatesExactly) {
+  RoundRobinScheduler sched{3};
+  net::Packet p;
+  EXPECT_EQ(sched.pick(p), 0);
+  EXPECT_EQ(sched.pick(p), 1);
+  EXPECT_EQ(sched.pick(p), 2);
+  EXPECT_EQ(sched.pick(p), 0);
+}
+
+TEST(ReorderBuffer, ReleasesInSequenceAfterWarmup) {
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); });
+  net::Packet p;
+  for (std::uint32_t seq : {0u, 2u, 1u, 3u}) {
+    p.seq = seq;
+    rb.on_packet(p, sim.now());
+  }
+  EXPECT_TRUE(out.empty());  // warm-up holds the flow start briefly
+  sim.run_until(sim::milliseconds(100));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(rb.buffered(), 0u);
+}
+
+TEST(ReorderBuffer, WarmupAbsorbsOutOfOrderFlowStart) {
+  // The flow's first sequence rides the slower medium and arrives second;
+  // warm-up prevents it from being treated as a late straggler.
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::milliseconds(10);
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); },
+                   cfg);
+  net::Packet p;
+  p.seq = 1;  // fast-medium packet first
+  rb.on_packet(p, sim.now());
+  sim.run_until(sim::milliseconds(5));
+  p.seq = 0;  // true first packet arrives late via the slow medium
+  rb.on_packet(p, sim.now());
+  sim.run_until(sim::milliseconds(20));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(ReorderBuffer, TimeoutSkipsGap) {
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::milliseconds(10);
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); },
+                   cfg);
+  net::Packet p;
+  p.seq = 0;
+  rb.on_packet(p, sim.now());
+  p.seq = 2;  // 1 is lost
+  rb.on_packet(p, sim.now());
+  sim.run_until(sim::milliseconds(12));  // warm-up done: 0 out, gap at 1
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));
+  sim.run_until(sim::milliseconds(30));  // gap timed out: 2 released
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(rb.timeouts(), 1u);
+}
+
+TEST(ReorderBuffer, LateStragglerIsDeliveredImmediately) {
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::milliseconds(5);
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); },
+                   cfg);
+  net::Packet p;
+  p.seq = 0;
+  rb.on_packet(p, sim.now());
+  p.seq = 2;
+  rb.on_packet(p, sim.now());
+  sim.run_until(sim::milliseconds(15));  // warm-up + gap timeout: 0, 2 out
+  ASSERT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
+  p.seq = 1;  // straggler arrives after its gap was skipped
+  rb.on_packet(p, sim.now());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2, 1}));
+}
+
+TEST(ReorderBuffer, HandlesBurstLossOverflow) {
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::seconds(100);  // effectively never
+  cfg.max_buffered = 16;
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); },
+                   cfg);
+  net::Packet p;
+  p.seq = 0;
+  rb.on_packet(p, sim.now());
+  // Sequence 1 never arrives; 2..40 pile up until the overflow valve opens.
+  for (std::uint32_t s = 2; s <= 40; ++s) {
+    p.seq = s;
+    rb.on_packet(p, sim.now());
+  }
+  EXPECT_GT(out.size(), 16u);
+}
+
+TEST(HybridDevice, AggregatesTwoPipes) {
+  sim::Simulator sim;
+  PipeInterface fast(sim, sim::milliseconds(2));
+  PipeInterface slow(sim, sim::milliseconds(8));
+  auto sched = std::make_unique<CapacityScheduler>(sim::Rng{7});
+  HybridDevice tx_dev(sim, {&fast, &slow}, std::move(sched));
+  tx_dev.set_capacities({80.0, 20.0});
+
+  HybridDevice rx_dev(sim, {&fast, &slow},
+                      std::make_unique<RoundRobinScheduler>(2));
+  net::OrderMeter order;
+  std::uint64_t delivered = 0;
+  rx_dev.set_rx_handler([&](const net::Packet& p, sim::Time t) {
+    order.on_packet(p, t);
+    ++delivered;
+  });
+  rx_dev.start_receiving();
+
+  net::Packet p;
+  for (std::uint32_t s = 0; s < 500; ++s) {
+    p.seq = s;
+    p.created = sim.now();
+    tx_dev.enqueue(p);
+    sim.run_until(sim.now() + sim::microseconds(100.0));
+  }
+  sim.run_until(sim.now() + sim::seconds(1));
+  EXPECT_EQ(delivered, 500u);
+  EXPECT_EQ(order.out_of_order(), 0u);  // reorder buffer restored sequence
+  // Proportional split: the fast pipe carried roughly 80 %.
+  const double frac = tx_dev.sent_per_interface(0) /
+                      static_cast<double>(500);
+  EXPECT_NEAR(frac, 0.8, 0.07);
+}
+
+TEST(RoundRobinSplitter, AlternatesStrictly) {
+  sim::Simulator sim;
+  PipeInterface a(sim, sim::milliseconds(1));
+  PipeInterface b(sim, sim::milliseconds(1));
+  RoundRobinSplitter splitter(sim, {&a, &b});
+  net::Packet p;
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    p.seq = s;
+    splitter.enqueue(p);
+  }
+  EXPECT_EQ(a.enqueued_, 5u);
+  EXPECT_EQ(b.enqueued_, 5u);
+}
+
+/// Interface stub with a controllable queue length, to exercise the
+/// head-of-line blocking semantics.
+class StubQueue final : public net::Interface {
+ public:
+  bool enqueue(const net::Packet&) override {
+    ++accepted_;
+    return true;
+  }
+  [[nodiscard]] std::size_t queue_length() const override { return depth_; }
+  void set_rx_handler(RxHandler) override {}
+  std::size_t depth_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+TEST(RoundRobinSplitter, HeadOfLineBlocksBothInterfaces) {
+  sim::Simulator sim;
+  StubQueue slow, fast;
+  slow.depth_ = 1000;  // permanently over the watermark
+  RoundRobinSplitter splitter(sim, {&slow, &fast});
+  net::Packet p;
+  for (std::uint32_t s = 0; s < 20; ++s) {
+    p.seq = s;
+    splitter.enqueue(p);
+  }
+  sim.run_until(sim::seconds(1));
+  // Strict alternation: the stalled slow interface starves the fast one —
+  // this is exactly the paper's round-robin bottleneck (Fig. 20).
+  EXPECT_EQ(slow.accepted_, 0u);
+  EXPECT_EQ(fast.accepted_, 0u);
+  EXPECT_EQ(splitter.queue_length(), 20u);
+  // The moment the slow queue drains, the stage flushes in order.
+  slow.depth_ = 0;
+  sim.run_until(sim::seconds(2));
+  EXPECT_EQ(slow.accepted_, 10u);
+  EXPECT_EQ(fast.accepted_, 10u);
+}
+
+TEST(RoundRobinSplitter, StageLimitDropsExcess) {
+  sim::Simulator sim;
+  StubQueue blocked;
+  blocked.depth_ = 1000;
+  RoundRobinSplitter::Config cfg;
+  cfg.stage_limit = 8;
+  RoundRobinSplitter splitter(sim, {&blocked}, cfg);
+  net::Packet p;
+  int accepted = 0;
+  for (std::uint32_t s = 0; s < 20; ++s) {
+    p.seq = s;
+    accepted += splitter.enqueue(p) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 8);
+}
+
+TEST(LinkMetricTable, UpdateAndGet) {
+  LinkMetricTable table;
+  EXPECT_FALSE(table.get(0, 1, Medium::kPlc).has_value());
+  table.update(0, 1, Medium::kPlc, {120.0, 0.01, sim::seconds(10)});
+  const auto m = table.get(0, 1, Medium::kPlc);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->capacity_mbps, 120.0);
+  // Directed and per-medium: the reverse/other-medium entries are absent.
+  EXPECT_FALSE(table.get(1, 0, Medium::kPlc).has_value());
+  EXPECT_FALSE(table.get(0, 1, Medium::kWifi).has_value());
+}
+
+TEST(LinkMetricTable, FreshnessWindow) {
+  LinkMetricTable table;
+  table.update(0, 1, Medium::kWifi, {65.0, 0.0, sim::seconds(10)});
+  EXPECT_DOUBLE_EQ(table.fresh_capacity_mbps(0, 1, Medium::kWifi, sim::seconds(12),
+                                             sim::seconds(5)),
+                   65.0);
+  EXPECT_DOUBLE_EQ(table.fresh_capacity_mbps(0, 1, Medium::kWifi, sim::seconds(30),
+                                             sim::seconds(5)),
+                   0.0);
+}
+
+TEST(LinkMetricTable, EntriesEnumerates) {
+  LinkMetricTable table;
+  table.update(0, 1, Medium::kPlc, {100.0, 0.0, {}});
+  table.update(0, 1, Medium::kWifi, {60.0, 0.0, {}});
+  table.update(2, 3, Medium::kPlc, {40.0, 0.1, {}});
+  EXPECT_EQ(table.entries().size(), 3u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(MediumNames, ToString) {
+  EXPECT_EQ(to_string(Medium::kPlc), "plc");
+  EXPECT_EQ(to_string(Medium::kWifi), "wifi");
+}
+
+}  // namespace
+}  // namespace efd::hybrid

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/meters.hpp"
+#include "src/net/sources.hpp"
+
+namespace efd::net {
+namespace {
+
+/// Interface stub that records enqueued packets and can simulate drops.
+class SinkInterface final : public Interface {
+ public:
+  bool enqueue(const Packet& p) override {
+    if (fail_every_ > 0 &&
+        static_cast<int>(packets.size() + drops_) % fail_every_ == fail_every_ - 1) {
+      ++drops_;
+      return false;
+    }
+    packets.push_back(p);
+    if (rx_) rx_(p, p.created);
+    return true;
+  }
+  [[nodiscard]] std::size_t queue_length() const override { return 0; }
+  void set_rx_handler(RxHandler handler) override { rx_ = std::move(handler); }
+
+  void fail_every(int n) { fail_every_ = n; }
+
+  std::vector<Packet> packets;
+
+ private:
+  int fail_every_ = 0;
+  std::uint64_t drops_ = 0;
+  RxHandler rx_;
+};
+
+TEST(UdpSource, EmitsAtConfiguredRate) {
+  sim::Simulator sim;
+  SinkInterface sink;
+  UdpSource::Config cfg;
+  cfg.rate_bps = 8e6;        // 1 MB/s
+  cfg.packet_bytes = 1000;   // => 1000 packets/s
+  UdpSource source(sim, sink, cfg);
+  source.run(sim::Time{}, sim::seconds(2));
+  sim.run_until(sim::seconds(3));
+  EXPECT_NEAR(static_cast<double>(sink.packets.size()), 2000.0, 2.0);
+}
+
+TEST(UdpSource, SequencesAndMetadata) {
+  sim::Simulator sim;
+  SinkInterface sink;
+  UdpSource::Config cfg;
+  cfg.rate_bps = 8e6;
+  cfg.packet_bytes = 1000;
+  cfg.src = 3;
+  cfg.dst = 7;
+  cfg.flow_id = 42;
+  UdpSource source(sim, sink, cfg);
+  source.run(sim::Time{}, sim::milliseconds(100));
+  sim.run_until(sim::seconds(1));
+  ASSERT_GT(sink.packets.size(), 10u);
+  for (std::size_t i = 0; i < sink.packets.size(); ++i) {
+    const Packet& p = sink.packets[i];
+    EXPECT_EQ(p.seq, i);
+    EXPECT_EQ(p.src, 3);
+    EXPECT_EQ(p.dst, 7);
+    EXPECT_EQ(p.flow_id, 42);
+    EXPECT_EQ(p.size_bytes, 1000u);
+  }
+}
+
+TEST(UdpSource, CountsDrops) {
+  sim::Simulator sim;
+  SinkInterface sink;
+  sink.fail_every(3);
+  UdpSource::Config cfg;
+  cfg.rate_bps = 8e6;
+  cfg.packet_bytes = 1000;
+  UdpSource source(sim, sink, cfg);
+  source.run(sim::Time{}, sim::milliseconds(300));
+  sim.run_until(sim::seconds(1));
+  EXPECT_GT(source.dropped_packets(), 50u);
+  EXPECT_EQ(source.offered_packets(),
+            sink.packets.size() + source.dropped_packets());
+}
+
+TEST(UdpSource, StopHaltsEmission) {
+  sim::Simulator sim;
+  SinkInterface sink;
+  UdpSource::Config cfg;
+  cfg.rate_bps = 8e6;
+  cfg.packet_bytes = 1000;
+  UdpSource source(sim, sink, cfg);
+  source.run(sim::Time{}, sim::seconds(10));
+  sim.run_until(sim::milliseconds(100));
+  source.stop();
+  const auto count = sink.packets.size();
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(sink.packets.size(), count);
+}
+
+TEST(ProbeSource, SingleProbesAtInterval) {
+  sim::Simulator sim;
+  SinkInterface sink;
+  ProbeSource::Config cfg;
+  cfg.interval = sim::milliseconds(100);
+  cfg.packet_bytes = 1300;
+  ProbeSource probes(sim, sink, cfg);
+  probes.run(sim::Time{}, sim::seconds(1));
+  sim.run_until(sim::seconds(2));
+  EXPECT_EQ(probes.sent(), 10u);
+}
+
+TEST(ProbeSource, BurstsKeepRateButClump) {
+  sim::Simulator sim;
+  SinkInterface sink;
+  ProbeSource::Config cfg;
+  cfg.interval = sim::milliseconds(500);
+  cfg.burst_count = 5;
+  ProbeSource probes(sim, sink, cfg);
+  probes.run(sim::Time{}, sim::seconds(2));
+  sim.run_until(sim::seconds(3));
+  EXPECT_EQ(probes.sent(), 20u);  // 4 bursts of 5
+  // All packets of one burst share the same creation instant.
+  EXPECT_EQ(sink.packets[0].created, sink.packets[4].created);
+  EXPECT_NE(sink.packets[4].created, sink.packets[5].created);
+}
+
+TEST(ProbeSource, ResumeContinuesSequence) {
+  sim::Simulator sim;
+  SinkInterface sink;
+  ProbeSource::Config cfg;
+  cfg.interval = sim::milliseconds(100);
+  ProbeSource probes(sim, sink, cfg);
+  probes.run(sim::Time{}, sim::milliseconds(350));
+  sim.run_until(sim::seconds(1));
+  const auto first_batch = probes.sent();
+  probes.resume(sim::seconds(2), sim::seconds(2) + sim::milliseconds(250));
+  sim.run_until(sim::seconds(3));
+  EXPECT_GT(probes.sent(), first_batch);
+  // Sequence numbers keep counting across the pause.
+  EXPECT_EQ(sink.packets.back().seq, probes.sent() - 1);
+}
+
+TEST(ThroughputMeter, WindowsAndTotals) {
+  ThroughputMeter meter{sim::milliseconds(100)};
+  Packet p;
+  p.size_bytes = 1250;  // 1250 B per packet
+  // 10 packets in each of 3 windows => 1 Mb/s per window.
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 10; ++i) {
+      meter.on_packet(p, sim::milliseconds(w * 100 + i * 10 + 1));
+    }
+  }
+  meter.finish(sim::milliseconds(300));
+  ASSERT_EQ(meter.samples_mbps().size(), 3u);
+  for (double mbps : meter.samples_mbps()) EXPECT_NEAR(mbps, 1.0, 1e-9);
+  EXPECT_EQ(meter.total_bytes(), 37500u);
+  EXPECT_EQ(meter.total_packets(), 30u);
+  EXPECT_NEAR(meter.average_mbps(sim::milliseconds(300)), 1.0, 1e-9);
+}
+
+TEST(ThroughputMeter, EmptyWindowsAreZero) {
+  ThroughputMeter meter{sim::milliseconds(100)};
+  Packet p;
+  p.size_bytes = 1000;
+  meter.on_packet(p, sim::milliseconds(10));
+  meter.on_packet(p, sim::milliseconds(310));  // two silent windows between
+  meter.finish(sim::milliseconds(400));
+  ASSERT_EQ(meter.samples_mbps().size(), 4u);
+  EXPECT_GT(meter.samples_mbps()[0], 0.0);
+  EXPECT_DOUBLE_EQ(meter.samples_mbps()[1], 0.0);
+  EXPECT_DOUBLE_EQ(meter.samples_mbps()[2], 0.0);
+}
+
+TEST(JitterMeter, ConstantTransitIsZeroJitter) {
+  JitterMeter meter;
+  Packet p;
+  for (int i = 0; i < 100; ++i) {
+    p.created = sim::milliseconds(i * 10);
+    meter.on_packet(p, sim::milliseconds(i * 10 + 5));  // constant 5 ms transit
+  }
+  EXPECT_NEAR(meter.jitter_ms(), 0.0, 1e-9);
+}
+
+TEST(JitterMeter, VariableTransitGrowsJitter) {
+  JitterMeter meter;
+  Packet p;
+  for (int i = 0; i < 100; ++i) {
+    p.created = sim::milliseconds(i * 10);
+    const double transit = i % 2 == 0 ? 2.0 : 8.0;  // 6 ms swing
+    meter.on_packet(p, p.created + sim::milliseconds(transit));
+  }
+  EXPECT_GT(meter.jitter_ms(), 1.0);
+  EXPECT_LT(meter.jitter_ms(), 6.0);
+  EXPECT_GT(meter.mean_jitter_ms(), 0.5);
+}
+
+TEST(LossMeter, CountsGapsBySequence) {
+  LossMeter meter;
+  Packet p;
+  for (std::uint32_t s : {0u, 1u, 2u, 5u, 6u}) {  // 3 and 4 lost
+    p.seq = s;
+    meter.on_packet(p, sim::Time{});
+  }
+  EXPECT_EQ(meter.received(), 5u);
+  EXPECT_EQ(meter.lost(), 2u);
+  EXPECT_NEAR(meter.loss_rate(), 2.0 / 7.0, 1e-12);
+}
+
+TEST(LossMeter, NoTrafficNoLoss) {
+  LossMeter meter;
+  EXPECT_EQ(meter.lost(), 0u);
+  EXPECT_DOUBLE_EQ(meter.loss_rate(), 0.0);
+}
+
+TEST(LossMeter, OutOfOrderIsNotLoss) {
+  LossMeter meter;
+  Packet p;
+  for (std::uint32_t s : {1u, 0u, 3u, 2u}) {
+    p.seq = s;
+    meter.on_packet(p, sim::Time{});
+  }
+  EXPECT_EQ(meter.lost(), 0u);
+}
+
+TEST(OrderMeter, CountsReordering) {
+  OrderMeter meter;
+  Packet p;
+  for (std::uint32_t s : {0u, 1u, 3u, 2u, 4u}) {
+    p.seq = s;
+    meter.on_packet(p, sim::Time{});
+  }
+  EXPECT_EQ(meter.received(), 5u);
+  EXPECT_EQ(meter.out_of_order(), 1u);
+}
+
+}  // namespace
+}  // namespace efd::net

@@ -1,0 +1,115 @@
+#include "src/plc/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/grid/appliance.hpp"
+
+namespace efd::plc {
+namespace {
+
+struct ChannelFixture : ::testing::Test {
+  grid::PowerGrid grid;
+  int na = 0, nj = 0, nb = 0;
+  PlcChannel channel{grid, PhyParams::hpav()};
+
+  void SetUp() override {
+    na = grid.add_node("a");
+    nj = grid.add_node("j");
+    nb = grid.add_node("b");
+    grid.add_cable(na, nj, 10.0);
+    grid.add_cable(nj, nb, 15.0);
+    grid.add_appliance(grid::make_appliance(grid::ApplianceType::kFridge, nj, 5));
+    channel.attach_station(0, na);
+    channel.attach_station(1, nb);
+  }
+
+  static sim::Time noon() { return sim::days(1) + sim::hours(12); }
+};
+
+TEST_F(ChannelFixture, OutletMapping) {
+  EXPECT_EQ(channel.outlet(0), na);
+  EXPECT_EQ(channel.outlet(1), nb);
+}
+
+TEST_F(ChannelFixture, SlotAtCyclesThroughHalfMainsPeriod) {
+  // 50 Hz mains: the half cycle is 10 ms, so 6 slots of ~1.67 ms each.
+  EXPECT_EQ(channel.slot_at(sim::Time{}), 0);
+  EXPECT_EQ(channel.slot_at(sim::milliseconds(1.0)), 0);
+  EXPECT_EQ(channel.slot_at(sim::milliseconds(2.0)), 1);
+  EXPECT_EQ(channel.slot_at(sim::milliseconds(9.9)), 5);
+  EXPECT_EQ(channel.slot_at(sim::milliseconds(10.1)), 0);  // next half cycle
+}
+
+TEST_F(ChannelFixture, SlotAtNeverExceedsSlotCount) {
+  for (int i = 0; i < 2000; ++i) {
+    const int slot = channel.slot_at(sim::microseconds(i * 7.3));
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, channel.phy().tone_map_slots);
+  }
+}
+
+TEST_F(ChannelFixture, SnrVectorHasCarrierCount) {
+  const auto snr = channel.snr_db(0, 1, 0, noon());
+  EXPECT_EQ(static_cast<int>(snr.size()), channel.phy().band.n_carriers);
+}
+
+TEST_F(ChannelFixture, StaticSnrIsCachedWithinEpoch) {
+  const auto& v1 = channel.static_snr_db(0, 1, 0, noon());
+  const double first = v1[10];
+  const auto& v2 = channel.static_snr_db(0, 1, 0, noon() + sim::milliseconds(1));
+  EXPECT_DOUBLE_EQ(v2[10], first);  // same epoch: cache hit, same values
+}
+
+TEST_F(ChannelFixture, CacheInvalidatesAcrossEpochChange) {
+  // Find two instants with different appliance state epochs (fridge duty
+  // cycle toggles within ~20 min).
+  const auto t0 = noon();
+  sim::Time t1 = t0;
+  for (int i = 1; i < 600; ++i) {
+    t1 = t0 + sim::seconds(i * 10.0);
+    if (grid.state_epoch(t1) != grid.state_epoch(t0)) break;
+  }
+  ASSERT_NE(grid.state_epoch(t0), grid.state_epoch(t1));
+  const double before = channel.static_snr_db(0, 1, 0, t0)[200];
+  const double after = channel.static_snr_db(0, 1, 0, t1)[200];
+  EXPECT_NE(before, after);
+}
+
+TEST_F(ChannelFixture, SnrDiffersAcrossSlots) {
+  const auto t = noon();
+  if (!grid.appliance_on(0, t)) GTEST_SKIP();
+  double lo = 1e9, hi = -1e9;
+  for (int s = 0; s < 6; ++s) {
+    const double m = channel.mean_snr_db(0, 1, s, t);
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_GT(hi - lo, 0.1);  // invariance-scale structure exists
+}
+
+TEST_F(ChannelFixture, PbErrorMemoIsConsistent) {
+  const auto t = noon();
+  const auto snr = channel.snr_db(0, 1, 0, t);
+  const ToneMap tm = ToneMap::from_snr(snr, 2.0, channel.phy(), 0.0, 7);
+  const double p1 = channel.pb_error_probability(tm, 0, 1, 0, t);
+  const double p2 = channel.pb_error_probability(tm, 0, 1, 0, t);
+  EXPECT_DOUBLE_EQ(p1, p2);
+  EXPECT_GE(p1, 0.0);
+  EXPECT_LE(p1, 1.0);
+}
+
+TEST_F(ChannelFixture, RoboHasLowerErrorThanAggressiveMap) {
+  const auto t = noon();
+  const auto snr = channel.snr_db(0, 1, 0, t);
+  const ToneMap aggressive = ToneMap::from_snr(snr, -6.0, channel.phy(), 0.0, 8);
+  const ToneMap robo = ToneMap::robo(channel.phy());
+  EXPECT_LE(channel.pb_error_probability(robo, 0, 1, 0, t),
+            channel.pb_error_probability(aggressive, 0, 1, 0, t));
+}
+
+TEST_F(ChannelFixture, CableDistanceMatchesGrid) {
+  EXPECT_DOUBLE_EQ(channel.cable_distance(0, 1), 25.0);
+}
+
+}  // namespace
+}  // namespace efd::plc

@@ -1,0 +1,220 @@
+#include "src/plc/channel_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/grid/appliance.hpp"
+
+namespace efd::plc {
+namespace {
+
+/// Two stations over a quiet 10 m link: a good, stable channel.
+struct EstimatorFixture : ::testing::Test {
+  grid::PowerGrid grid;
+  PlcChannel channel{grid, PhyParams::hpav()};
+  ChannelEstimator::Config cfg;
+
+  void SetUp() override {
+    const int a = grid.add_node("a");
+    const int b = grid.add_node("b");
+    // 22 dB of lumped loss puts the link around 41 dB SNR: enough headroom
+    // to ride out background impulses at the 150 Mb/s ceiling, while the
+    // initial high-uncertainty margin still costs real rate.
+    grid.add_cable(a, b, 10.0, 22.0);
+    channel.attach_station(0, a);
+    channel.attach_station(1, b);
+  }
+
+  ChannelEstimator make(std::uint64_t seed = 1) {
+    return ChannelEstimator(channel, 0, 1, sim::Rng{seed}, cfg);
+  }
+
+  static sim::Time t0() { return sim::days(1) + sim::hours(12); }
+
+  /// Feed saturated-style frames for `seconds` of simulated time.
+  static void feed(ChannelEstimator& est, const PlcChannel& ch, double seconds,
+                   sim::Time start, int pbs_per_frame = 60, int symbols = 40) {
+    sim::Rng rng{7};
+    for (double s = 0.0; s < seconds; s += 0.01) {
+      const sim::Time now = start + sim::seconds(s);
+      const int slot = ch.slot_at(now);
+      const ToneMap& tm = est.has_tone_maps()
+                              ? est.tone_maps().slots[static_cast<std::size_t>(slot)]
+                              : est.tone_maps().robo;
+      const double p = ch.pb_error_probability(tm, 0, 1, slot, now);
+      int errors = 0;
+      for (int i = 0; i < pbs_per_frame; ++i) errors += rng.bernoulli(p) ? 1 : 0;
+      est.on_frame_received(slot, pbs_per_frame, errors, symbols, now);
+    }
+  }
+};
+
+TEST_F(EstimatorFixture, StartsWithoutToneMaps) {
+  auto est = make();
+  EXPECT_FALSE(est.has_tone_maps());
+  // Without maps, reported BLE falls back to the ROBO default.
+  EXPECT_LT(est.average_ble_mbps(), 10.0);
+}
+
+TEST_F(EstimatorFixture, SoundFrameBootstraps) {
+  auto est = make();
+  est.on_sound_frame(t0());
+  EXPECT_TRUE(est.has_tone_maps());
+  EXPECT_EQ(static_cast<int>(est.tone_maps().slots.size()),
+            channel.phy().tone_map_slots);
+  EXPECT_GT(est.average_ble_mbps(), 10.0);
+}
+
+TEST_F(EstimatorFixture, ConvergesUpwardWithTraffic) {
+  auto est = make();
+  est.on_sound_frame(t0());
+  const double initial = est.average_ble_mbps();
+  feed(est, channel, 10.0, t0());
+  const double converged = est.average_ble_mbps();
+  EXPECT_GT(converged, initial + 10.0);
+  // The quiet 10 m link should sustain near the 150 Mb/s ceiling.
+  EXPECT_GT(converged, 130.0);
+}
+
+TEST_F(EstimatorFixture, UncertaintyShrinksWithSamples) {
+  auto est = make();
+  est.on_sound_frame(t0());
+  const auto few = est.pb_samples();
+  feed(est, channel, 2.0, t0());
+  EXPECT_GT(est.pb_samples(), few + 1000);
+}
+
+TEST_F(EstimatorFixture, ResetDropsEverything) {
+  auto est = make();
+  est.on_sound_frame(t0());
+  feed(est, channel, 3.0, t0());
+  ASSERT_TRUE(est.has_tone_maps());
+  est.reset(t0() + sim::seconds(3));
+  EXPECT_FALSE(est.has_tone_maps());
+  EXPECT_EQ(est.pb_samples(), 0u);
+  EXPECT_DOUBLE_EQ(est.measured_pberr(), 0.0);
+}
+
+TEST_F(EstimatorFixture, StatisticsPersistAcrossPause) {
+  // Fig. 17: pausing the probing does not reset the estimation — BLE
+  // resumes from its pre-pause value.
+  auto est = make();
+  est.on_sound_frame(t0());
+  feed(est, channel, 10.0, t0());
+  const double before = est.average_ble_mbps();
+  // 7 minutes of silence, then one more batch.
+  const sim::Time resume = t0() + sim::seconds(10) + sim::minutes(7);
+  feed(est, channel, 0.2, resume);
+  EXPECT_NEAR(est.average_ble_mbps(), before, before * 0.1);
+}
+
+TEST_F(EstimatorFixture, ExpiryTriggersRetune) {
+  auto est = make();
+  est.on_sound_frame(t0());
+  feed(est, channel, 5.0, t0());
+  const auto updates = est.update_count();
+  // A single frame far beyond the 30 s expiry forces a refresh.
+  est.on_frame_received(0, 10, 0, 5, t0() + sim::seconds(5) + sim::seconds(40));
+  EXPECT_GT(est.update_count(), updates);
+}
+
+TEST_F(EstimatorFixture, ErrorBurstTriggersRetuneAndBleDrop) {
+  auto est = make();
+  est.on_sound_frame(t0());
+  feed(est, channel, 10.0, t0());
+  const double before = est.average_ble_mbps();
+  const auto updates = est.update_count();
+  // A burst of heavily errored frames (e.g. capture-effect collisions).
+  sim::Time now = t0() + sim::seconds(10);
+  for (int i = 0; i < 10; ++i) {
+    now += sim::seconds(1);
+    est.on_frame_received(0, 10, 6, 5, now);
+  }
+  EXPECT_GT(est.update_count(), updates);
+  EXPECT_LT(est.average_ble_mbps(), before);
+}
+
+TEST_F(EstimatorFixture, PanicMarginDecaysAfterCleanTraffic) {
+  auto est = make();
+  est.on_sound_frame(t0());
+  feed(est, channel, 10.0, t0());
+  sim::Time now = t0() + sim::seconds(10);
+  for (int i = 0; i < 10; ++i) {
+    now += sim::seconds(1);
+    est.on_frame_received(0, 10, 6, 5, now);
+  }
+  const double dropped = est.average_ble_mbps();
+  // Clean traffic afterwards: BLE recovers within a few retunes (Fig. 10's
+  // impulsive drops with convergence back).
+  feed(est, channel, 80.0, now + sim::seconds(1));
+  EXPECT_GT(est.average_ble_mbps(), dropped);
+}
+
+TEST_F(EstimatorFixture, SinglePbProbesClampAtR1sym) {
+  // Fig. 18: 1 probe/s with <= 1 PB converges to ~89.4 Mb/s even though the
+  // channel supports ~150.
+  auto est = make();
+  est.on_sound_frame(t0());
+  sim::Time now = t0();
+  sim::Rng rng{3};
+  for (int i = 0; i < 600; ++i) {
+    now += sim::seconds(1);
+    const int slot = channel.slot_at(now);
+    est.on_frame_received(slot, 1, 0, 1, now);
+  }
+  EXPECT_NEAR(est.average_ble_mbps(),
+              channel.phy().single_pb_symbol_rate_mbps(), 4.0);
+}
+
+TEST_F(EstimatorFixture, MultiPbProbesDoNotClamp) {
+  // 1300 B probes (3 PBs) escape the clamp.
+  auto est = make();
+  est.on_sound_frame(t0());
+  sim::Time now = t0();
+  for (int i = 0; i < 600; ++i) {
+    now += sim::seconds(1);
+    const int slot = channel.slot_at(now);
+    est.on_frame_received(slot, 3, 0, 2, now);
+  }
+  EXPECT_GT(est.average_ble_mbps(), 120.0);
+}
+
+TEST_F(EstimatorFixture, BleSlotAccessorMatchesSet) {
+  auto est = make();
+  est.on_sound_frame(t0());
+  double sum = 0.0;
+  for (int s = 0; s < channel.phy().tone_map_slots; ++s) sum += est.ble_mbps(s);
+  EXPECT_NEAR(est.average_ble_mbps(), sum / channel.phy().tone_map_slots, 1e-9);
+}
+
+class ProbeRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProbeRateSweep, HigherRateConvergesFaster) {
+  // Core Fig. 16 property: more probes per second, faster convergence.
+  grid::PowerGrid grid;
+  const int a = grid.add_node("a");
+  const int b = grid.add_node("b");
+  grid.add_cable(a, b, 10.0);
+  PlcChannel channel{grid, PhyParams::hpav()};
+  channel.attach_station(0, a);
+  channel.attach_station(1, b);
+
+  const int rate = GetParam();
+  ChannelEstimator est(channel, 0, 1, sim::Rng{5}, {});
+  const sim::Time t0 = sim::days(1) + sim::hours(12);
+  est.on_sound_frame(t0);
+  // 60 simulated seconds of probing at `rate` packets (3 PBs each) per s.
+  sim::Time now = t0;
+  for (int s = 0; s < 60; ++s) {
+    for (int k = 0; k < rate; ++k) {
+      now += sim::seconds(1.0 / rate);
+      est.on_frame_received(channel.slot_at(now), 3, 0, 2, now);
+    }
+  }
+  // Samples scale with rate; the uncertainty-driven margin shrinks with it.
+  EXPECT_GE(est.pb_samples(), static_cast<std::uint64_t>(rate) * 60 * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ProbeRateSweep, ::testing::Values(1, 10, 50));
+
+}  // namespace
+}  // namespace efd::plc

@@ -1,0 +1,97 @@
+#include "src/plc/modulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace efd::plc {
+namespace {
+
+constexpr Modulation kLadder[] = {
+    Modulation::kOff,   Modulation::kBpsk,   Modulation::kQpsk,
+    Modulation::kQam8,  Modulation::kQam16,  Modulation::kQam64,
+    Modulation::kQam256, Modulation::kQam1024,
+};
+
+TEST(Modulation, BitsPerSymbolLadder) {
+  EXPECT_EQ(bits_per_symbol(Modulation::kOff), 0);
+  EXPECT_EQ(bits_per_symbol(Modulation::kBpsk), 1);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQpsk), 2);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam8), 3);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam16), 4);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam64), 6);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam256), 8);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam1024), 10);
+}
+
+TEST(Modulation, ThresholdsAreMonotoneInBits) {
+  for (std::size_t i = 2; i < std::size(kLadder); ++i) {
+    EXPECT_LT(required_snr_db(kLadder[i - 1]), required_snr_db(kLadder[i]));
+  }
+}
+
+TEST(Modulation, PickAtExactThreshold) {
+  for (std::size_t i = 1; i < std::size(kLadder); ++i) {
+    EXPECT_EQ(pick_modulation(required_snr_db(kLadder[i])), kLadder[i]);
+  }
+}
+
+TEST(Modulation, PickBelowBpskIsOff) {
+  EXPECT_EQ(pick_modulation(-20.0), Modulation::kOff);
+  EXPECT_EQ(pick_modulation(required_snr_db(Modulation::kBpsk) - 0.1),
+            Modulation::kOff);
+}
+
+TEST(Modulation, PickVeryHighSnrIsMaxConstellation) {
+  EXPECT_EQ(pick_modulation(60.0), Modulation::kQam1024);
+}
+
+class PickSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PickSweep, PickedModulationRespectsThresholdAndIsMaximal) {
+  const double snr = GetParam();
+  const Modulation m = pick_modulation(snr);
+  if (m != Modulation::kOff) {
+    EXPECT_GE(snr, required_snr_db(m));
+  }
+  // No higher constellation would also satisfy the threshold.
+  for (Modulation other : kLadder) {
+    if (bits_per_symbol(other) > bits_per_symbol(m)) {
+      EXPECT_LT(snr, required_snr_db(other));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrGrid, PickSweep,
+                         ::testing::Range(-10.0, 45.0, 1.37));
+
+TEST(Modulation, BerDecreasesWithSnr) {
+  for (Modulation m : kLadder) {
+    if (m == Modulation::kOff) continue;
+    double prev = 1.0;
+    for (double snr = -5.0; snr <= 45.0; snr += 2.0) {
+      const double ber = uncoded_ber(m, snr);
+      EXPECT_LE(ber, prev + 1e-12);
+      EXPECT_GE(ber, 0.0);
+      EXPECT_LE(ber, 1.0);
+      prev = ber;
+    }
+  }
+}
+
+TEST(Modulation, HigherOrderHasHigherBerAtSameSnr) {
+  const double snr = 15.0;
+  EXPECT_LT(uncoded_ber(Modulation::kQpsk, snr),
+            uncoded_ber(Modulation::kQam64, snr));
+  EXPECT_LT(uncoded_ber(Modulation::kQam64, snr),
+            uncoded_ber(Modulation::kQam1024, snr));
+}
+
+TEST(Modulation, OffCarrierHasNoErrors) {
+  EXPECT_DOUBLE_EQ(uncoded_ber(Modulation::kOff, -100.0), 0.0);
+}
+
+TEST(Modulation, ToStringIsTotal) {
+  for (Modulation m : kLadder) EXPECT_NE(to_string(m), "unknown");
+}
+
+}  // namespace
+}  // namespace efd::plc

@@ -1,0 +1,96 @@
+#include "src/plc/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace efd::plc {
+namespace {
+
+struct NetworkFixture : ::testing::Test {
+  sim::Simulator sim;
+  grid::PowerGrid grid;
+  std::unique_ptr<PlcChannel> channel;
+  std::unique_ptr<PlcNetwork> network;
+
+  void SetUp() override {
+    const int strip = grid.add_node("strip");
+    channel = std::make_unique<PlcChannel>(grid, PhyParams::hpav());
+    network = std::make_unique<PlcNetwork>(sim, *channel, sim::Rng{5},
+                                           PlcNetwork::Config{});
+    for (int i = 0; i < 3; ++i) {
+      const int outlet = grid.add_node("o" + std::to_string(i));
+      grid.add_cable(strip, outlet, 3.0 + i);
+      channel->attach_station(i, outlet);
+      network->add_station(i, outlet);
+    }
+  }
+};
+
+TEST_F(NetworkFixture, FirstStationBecomesCco) {
+  EXPECT_EQ(network->cco(), 0);
+}
+
+TEST_F(NetworkFixture, CcoCanBePinnedStatically) {
+  network->set_cco(2);  // the paper pins CCos with the Atheros toolkit
+  EXPECT_EQ(network->cco(), 2);
+}
+
+TEST_F(NetworkFixture, StationLookup) {
+  EXPECT_TRUE(network->has_station(1));
+  EXPECT_FALSE(network->has_station(9));
+  EXPECT_EQ(network->station(1).id(), 1);
+  EXPECT_EQ(network->station(2).mac().id(), 2);
+}
+
+TEST_F(NetworkFixture, EstimatorsAreLazyAndStable) {
+  ChannelEstimator& e1 = network->estimator(1, 0);
+  ChannelEstimator& e2 = network->estimator(1, 0);
+  EXPECT_EQ(&e1, &e2);  // same directed link: same estimator
+  ChannelEstimator& reverse = network->estimator(0, 1);
+  EXPECT_NE(&e1, &reverse);  // reverse direction is a different estimator
+}
+
+TEST_F(NetworkFixture, MmQueriesReflectEstimatorState) {
+  auto& est = network->estimator(1, 0);
+  EXPECT_LT(network->mm_average_ble(0, 1), 10.0);  // ROBO fallback pre-sound
+  est.on_sound_frame(sim::seconds(1));
+  EXPECT_GT(network->mm_average_ble(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(network->mm_pberr(0, 1), est.measured_pberr());
+}
+
+TEST_F(NetworkFixture, ResetLinkEstimationDropsState) {
+  auto& est = network->estimator(1, 0);
+  est.on_sound_frame(sim::seconds(1));
+  ASSERT_TRUE(est.has_tone_maps());
+  network->reset_link_estimation(0, 1);
+  EXPECT_FALSE(est.has_tone_maps());
+}
+
+TEST_F(NetworkFixture, MediumIsShared) {
+  // Every station registered on the one medium: a frame from 0 to 1 is
+  // heard by the sniffer exactly once.
+  int sofs = 0;
+  network->medium().add_sniffer([&](const SofRecord&) { ++sofs; });
+  net::Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.size_bytes = 1000;
+  network->station(0).mac().enqueue(p);
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(sofs, 1);
+}
+
+TEST_F(NetworkFixture, SnifferRemovalStopsDelivery) {
+  int sofs = 0;
+  const auto id = network->medium().add_sniffer([&](const SofRecord&) { ++sofs; });
+  network->medium().remove_sniffer(id);
+  net::Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.size_bytes = 1000;
+  network->station(0).mac().enqueue(p);
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(sofs, 0);
+}
+
+}  // namespace
+}  // namespace efd::plc

@@ -1,0 +1,120 @@
+#include "src/sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/stats.hpp"
+
+namespace efd::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{7}, b{7};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{7}, b{8};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng base{7};
+  Rng f1 = base.fork(1);
+  Rng f2 = Rng{7}.fork(1);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(f1.uniform(), f2.uniform());
+}
+
+TEST(Rng, ForksAreIndependentStreams) {
+  Rng base{7};
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.uniform() == f2.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDoesNotDisturbParent) {
+  Rng a{9}, b{9};
+  (void)a.fork(3);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformAbRange) {
+  Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{1};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 7);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{2};
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{3};
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential_mean(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.2);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{4};
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{5};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, LognormalLinearMean) {
+  Rng rng{6};
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.lognormal(5.0, 0.3));
+  EXPECT_NEAR(s.mean(), 5.0, 0.15);
+}
+
+}  // namespace
+}  // namespace efd::sim

@@ -1,0 +1,126 @@
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace efd::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time{});
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(seconds(3), [&] { order.push_back(3); });
+  sim.at(seconds(1), [&] { order.push_back(1); });
+  sim.at(seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), seconds(3));
+}
+
+TEST(Simulator, SameInstantIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  Time fired{};
+  sim.at(seconds(5), [&] {
+    sim.after(seconds(2), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, seconds(7));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.at(seconds(1), [&] { ++count; });
+  sim.at(seconds(2), [&] { ++count; });
+  sim.at(seconds(10), [&] { ++count; });
+  sim.run_until(seconds(5));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), seconds(5));
+  sim.run_until(seconds(20));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithNoEvents) {
+  Simulator sim;
+  sim.run_until(seconds(42));
+  EXPECT_EQ(sim.now(), seconds(42));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.at(seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.at(seconds(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no effect, no crash
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.after(seconds(1), recurse);
+  };
+  sim.at(seconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), seconds(5));
+}
+
+TEST(Simulator, DispatchCountTracksFiredEventsOnly) {
+  Simulator sim;
+  EventHandle h = sim.at(seconds(1), [] {});
+  sim.at(seconds(2), [] {});
+  h.cancel();
+  sim.run();
+  EXPECT_EQ(sim.events_dispatched(), 1u);
+}
+
+TEST(Simulator, ResetDropsPendingEventsAndClock) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(seconds(1), [&] { fired = true; });
+  sim.run_until(milliseconds(500));
+  sim.reset();
+  EXPECT_EQ(sim.now(), Time{});
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace efd::sim

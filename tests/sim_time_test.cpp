@@ -1,0 +1,90 @@
+#include "src/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace efd::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time{}.ns(), 0);
+  EXPECT_DOUBLE_EQ(Time{}.seconds(), 0.0);
+}
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(seconds(1.0).ns(), 1'000'000'000);
+  EXPECT_EQ(milliseconds(1.0).ns(), 1'000'000);
+  EXPECT_EQ(microseconds(1.0).ns(), 1'000);
+  EXPECT_EQ(minutes(1.0).ns(), 60'000'000'000LL);
+  EXPECT_EQ(hours(1.0).ns(), 3'600'000'000'000LL);
+  EXPECT_EQ(days(1.0).ns(), 86'400'000'000'000LL);
+}
+
+TEST(Time, RoundTripSeconds) {
+  const Time t = seconds(123.456);
+  EXPECT_NEAR(t.seconds(), 123.456, 1e-9);
+  EXPECT_NEAR(t.ms(), 123456.0, 1e-6);
+  EXPECT_NEAR(t.us(), 123456000.0, 1e-3);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = seconds(2.0);
+  const Time b = milliseconds(500);
+  EXPECT_EQ((a + b).ns(), 2'500'000'000);
+  EXPECT_EQ((a - b).ns(), 1'500'000'000);
+  EXPECT_EQ((b * 4).ns(), 2'000'000'000);
+  EXPECT_EQ((4 * b).ns(), 2'000'000'000);
+  EXPECT_EQ(a / b, 4);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = seconds(1.0);
+  t += milliseconds(250);
+  EXPECT_EQ(t.ns(), 1'250'000'000);
+  t -= milliseconds(250);
+  EXPECT_EQ(t.ns(), 1'000'000'000);
+}
+
+TEST(Time, Comparison) {
+  EXPECT_LT(milliseconds(1), milliseconds(2));
+  EXPECT_LE(milliseconds(2), milliseconds(2));
+  EXPECT_GT(seconds(1), milliseconds(999));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+}
+
+TEST(Time, UntilSaturatesAtZero) {
+  const Time a = seconds(5);
+  const Time b = seconds(3);
+  EXPECT_EQ(b.until(a), seconds(2));
+  EXPECT_EQ(a.until(b), Time{});
+}
+
+TEST(Time, StrPicksScale) {
+  EXPECT_EQ(seconds(1.5).str(), "1.500s");
+  EXPECT_EQ(milliseconds(2.25).str(), "2.250ms");
+  EXPECT_EQ(microseconds(3.5).str(), "3.500us");
+  EXPECT_EQ(Time{12}.str(), "12ns");
+}
+
+TEST(Time, NegativeValuesFormat) {
+  EXPECT_EQ((Time{} - seconds(1)).str(), "-1.000s");
+}
+
+class TimeScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimeScaleSweep, SecondsRoundTrip) {
+  const double s = GetParam();
+  EXPECT_NEAR(seconds(s).seconds(), s, 1e-9 * std::max(1.0, s));
+}
+
+TEST_P(TimeScaleSweep, AdditionIsConsistentWithScaling) {
+  const double s = GetParam();
+  const Time t = seconds(s);
+  EXPECT_EQ(t + t, t * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TimeScaleSweep,
+                         ::testing::Values(1e-6, 1e-3, 0.02, 1.0, 60.0, 3600.0,
+                                           86400.0, 1209600.0));
+
+}  // namespace
+}  // namespace efd::sim

@@ -1,0 +1,132 @@
+#include "src/testbed/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace efd::testbed {
+namespace {
+
+struct TestbedFixture : ::testing::Test {
+  sim::Simulator sim;
+  std::unique_ptr<Testbed> tb;
+
+  void SetUp() override {
+    Testbed::Config cfg;
+    cfg.with_hpav500 = true;
+    tb = std::make_unique<Testbed>(sim, cfg);
+  }
+};
+
+TEST_F(TestbedFixture, NineteenStations) {
+  EXPECT_EQ(Testbed::kStations, 19);
+  for (int s = 0; s < Testbed::kStations; ++s) {
+    EXPECT_GE(tb->outlet_of(s), 0);
+  }
+}
+
+TEST_F(TestbedFixture, TwoNetworksSplitAtStation12) {
+  for (int s = 0; s <= 11; ++s) EXPECT_TRUE(on_board_b1(s)) << s;
+  for (int s = 12; s <= 18; ++s) EXPECT_FALSE(on_board_b1(s)) << s;
+  EXPECT_TRUE(tb->same_plc_network(0, 11));
+  EXPECT_TRUE(tb->same_plc_network(12, 18));
+  EXPECT_FALSE(tb->same_plc_network(11, 12));
+}
+
+TEST_F(TestbedFixture, CcosArePinnedAsInFig2) {
+  EXPECT_EQ(tb->plc_network_of(0).cco(), 11);
+  EXPECT_EQ(tb->plc_network_of(15).cco(), 15);
+}
+
+TEST_F(TestbedFixture, LinkCountMatchesPaperScale) {
+  // Two networks of 12 and 7 stations: 12*11 + 7*6 = 174 directed pairs.
+  // The paper reports 144 formed links (not every pair sustains one).
+  EXPECT_EQ(tb->plc_links().size(), 174u);
+  EXPECT_EQ(tb->all_pairs().size(), 342u);  // 19*18
+}
+
+TEST_F(TestbedFixture, CableDistancesSpanThePaperRange) {
+  double lo = 1e9, hi = 0.0;
+  for (const auto& [a, b] : tb->plc_links()) {
+    const double d = tb->plc_channel().cable_distance(a, b);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, 20.0);   // close pairs exist
+  EXPECT_GT(hi, 60.0);   // long intra-network runs exist (Fig. 7: 20-100 m)
+  EXPECT_LT(hi, 120.0);
+}
+
+TEST_F(TestbedFixture, CrossBoardPathsAreLongAndLossy) {
+  const double d = tb->plc_channel().cable_distance(11, 12);
+  EXPECT_GT(d, 200.0);  // "more than 200 m" (§3.1)
+  EXPECT_GE(tb->grid().path_extra_loss_db(tb->outlet_of(11), tb->outlet_of(12)),
+            50.0);
+}
+
+TEST_F(TestbedFixture, FloorPositionsWithinFig2Extents) {
+  for (int s = 0; s < Testbed::kStations; ++s) {
+    const auto [x, y] = station_position(s);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 70.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 40.0);
+  }
+}
+
+TEST_F(TestbedFixture, FloorDistanceIsSymmetricMetric) {
+  for (int a = 0; a < Testbed::kStations; a += 3) {
+    for (int b = 0; b < Testbed::kStations; b += 4) {
+      EXPECT_DOUBLE_EQ(tb->floor_distance_m(a, b), tb->floor_distance_m(b, a));
+      if (a != b) {
+        EXPECT_GT(tb->floor_distance_m(a, b), 0.0);
+      }
+    }
+  }
+}
+
+TEST_F(TestbedFixture, Hpav500StackIsIndependent) {
+  auto& av = tb->plc_channel(PlcGeneration::kHpav);
+  auto& av500 = tb->plc_channel(PlcGeneration::kHpav500);
+  EXPECT_EQ(av.phy().band.n_carriers, 917);
+  EXPECT_EQ(av500.phy().band.n_carriers, 2232);
+  // Same wiring underneath.
+  EXPECT_DOUBLE_EQ(av.cable_distance(0, 11), av500.cable_distance(0, 11));
+}
+
+TEST_F(TestbedFixture, AppliancePopulationIsOfficeLike) {
+  // 19 workstations + 19 monitors + lights + kitchen + misc.
+  EXPECT_GT(tb->grid().appliance_count(), 45);
+  EXPECT_LT(tb->grid().appliance_count(), 80);
+  // Working hours: most of the floor is on. Night: only standing loads.
+  const int day_on = tb->grid().appliances_on(sim::days(1) + sim::hours(14));
+  const int night_on = tb->grid().appliances_on(sim::days(1) + sim::hours(23.5));
+  EXPECT_GT(day_on, night_on + 10);
+}
+
+TEST_F(TestbedFixture, WifiStationsPlacedForAllIds) {
+  for (int s = 0; s < Testbed::kStations; ++s) {
+    EXPECT_EQ(tb->wifi_station(s).id(), s);
+  }
+}
+
+TEST(TestbedNoAv500, OptOutSkipsSecondStack) {
+  sim::Simulator sim;
+  Testbed::Config cfg;
+  cfg.with_hpav500 = false;
+  Testbed tb(sim, cfg);
+  EXPECT_EQ(tb.plc_channel(PlcGeneration::kHpav).phy().band.n_carriers, 917);
+}
+
+TEST(TestbedDeterminism, SameSeedSameChannel) {
+  sim::Simulator s1, s2;
+  Testbed::Config cfg;
+  cfg.with_hpav500 = false;
+  Testbed t1(s1, cfg), t2(s2, cfg);
+  const auto t = sim::days(1) + sim::hours(10);
+  EXPECT_DOUBLE_EQ(t1.plc_channel().mean_snr_db(0, 5, 2, t),
+                   t2.plc_channel().mean_snr_db(0, 5, 2, t));
+}
+
+}  // namespace
+}  // namespace efd::testbed

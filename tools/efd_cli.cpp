@@ -1,0 +1,209 @@
+// efd — command-line front end to the Electri-Fi toolkit, in the spirit of
+// the Open Powerline Toolkit the paper instruments its testbed with
+// (int6krate / ampstat / the sniffer). Runs against the built-in Fig. 2
+// testbed simulation.
+//
+//   efd survey [--night]              whole-floor link survey
+//   efd rate <src> <dst>              int6krate-style capacity estimate
+//   efd stat <src> <dst>              ampstat-style PBerr + U-ETX
+//   efd trace <src> <dst> <seconds>   BLE trace at 50 ms, CSV to stdout
+//   efd sniff <src> <dst> <seconds>   SoF capture under saturation, CSV
+//   efd route <src> <dst>             min-ETT hybrid route
+//   efd guidelines                    the paper's Table 3
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/core/capacity.hpp"
+#include "src/core/etx.hpp"
+#include "src/core/guidelines.hpp"
+#include "src/core/sampler.hpp"
+#include "src/core/sof_capture.hpp"
+#include "src/core/trace_io.hpp"
+#include "src/hybrid/routing.hpp"
+#include "src/testbed/experiment.hpp"
+
+using namespace efd;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: efd <survey [--night] | rate S D | stat S D | "
+               "trace S D SECS | sniff S D SECS | route S D | guidelines>\n"
+               "stations: 0-18 (0-11 on network B1, 12-18 on B2)\n");
+  return 2;
+}
+
+struct World {
+  sim::Simulator sim;
+  testbed::Testbed tb;
+
+  explicit World(bool night) : tb(sim, make_config()) {
+    sim.run_until(night ? testbed::weekend_night() : testbed::weekday_afternoon());
+  }
+
+  static testbed::Testbed::Config make_config() {
+    testbed::Testbed::Config cfg;
+    cfg.with_hpav500 = false;
+    return cfg;
+  }
+
+  bool valid(int s) const { return s >= 0 && s < testbed::Testbed::kStations; }
+
+  double warmed_ble(int a, int b) {
+    auto& est = tb.plc_network_of(b).estimator(b, a);
+    core::LinkTraceSampler sampler(tb.plc_channel(), est, a, b, sim::Rng{1});
+    (void)sampler.run(sim.now(), sim.now() + sim::seconds(3));
+    return est.average_ble_mbps();
+  }
+};
+
+int cmd_survey(bool night) {
+  World w(night);
+  core::BleCapacityEstimator cap;
+  std::printf("%-8s %10s %12s %10s %10s\n", "link", "BLE Mb/s", "pred T",
+              "cable m", "wifi Mb/s");
+  for (const auto& [a, b] : w.tb.plc_links()) {
+    double ble = 0.0;
+    if (w.tb.plc_channel().mean_snr_db(a, b, 0, w.sim.now()) > 3.0) {
+      ble = w.warmed_ble(a, b);
+    }
+    std::printf("%2d->%-5d %10.1f %12.1f %10.0f %10.1f\n", a, b, ble,
+                cap.throughput_from_ble(ble),
+                w.tb.plc_channel().cable_distance(a, b),
+                w.tb.wifi().mcs_capacity_mbps(a, b, w.sim.now()));
+  }
+  return 0;
+}
+
+int cmd_rate(int a, int b) {
+  World w(false);
+  const double ble = w.warmed_ble(a, b);
+  core::BleCapacityEstimator cap;
+  std::printf("link %d->%d: average BLE %.1f Mb/s, predicted UDP throughput "
+              "%.1f Mb/s\n",
+              a, b, ble, cap.throughput_from_ble(ble));
+  auto& est = w.tb.plc_network_of(b).estimator(b, a);
+  std::printf("per-slot BLE:");
+  for (int s = 0; s < w.tb.plc_channel().phy().tone_map_slots; ++s) {
+    std::printf(" %.1f", est.ble_mbps(s));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_stat(int a, int b) {
+  World w(false);
+  (void)w.warmed_ble(a, b);
+  auto& medium = w.tb.plc_network_of(a).medium();
+  core::SofCapture capture(medium);
+  capture.filter(a, b);
+  net::ProbeSource::Config pcfg;
+  pcfg.src = a;
+  pcfg.dst = b;
+  pcfg.interval = sim::milliseconds(75);
+  pcfg.packet_bytes = 1500;
+  net::ProbeSource probes(w.sim, w.tb.plc_station(a).mac(), pcfg);
+  probes.run(w.sim.now(), w.sim.now() + sim::seconds(30));
+  w.sim.run_until(w.sim.now() + sim::seconds(31));
+  const auto result = core::UnicastEtxEstimator{}.analyze(capture.records());
+  const double pberr = w.tb.plc_network_of(b).mm_pberr(a, b);
+  std::printf("link %d->%d: PBerr %.4f, U-ETX %.2f (std %.2f), predicted "
+              "U-ETX %.2f\n",
+              a, b, pberr, result.u_etx(), result.tx_count_stddev(),
+              core::predicted_u_etx(pberr, 3));
+  return 0;
+}
+
+int cmd_trace(int a, int b, double seconds) {
+  World w(false);
+  auto& est = w.tb.plc_network_of(b).estimator(b, a);
+  core::LinkTraceSampler sampler(w.tb.plc_channel(), est, a, b, sim::Rng{1});
+  const auto trace =
+      sampler.run(w.sim.now(), w.sim.now() + sim::seconds(seconds));
+  core::write_ble_trace_csv(std::cout, trace);
+  return 0;
+}
+
+int cmd_sniff(int a, int b, double seconds) {
+  World w(false);
+  (void)w.warmed_ble(a, b);
+  auto& medium = w.tb.plc_network_of(a).medium();
+  core::SofCapture capture(medium);
+  capture.filter(a, b);
+  (void)testbed::measure_plc_throughput(w.tb, a, b, sim::seconds(seconds));
+  core::write_sof_records_csv(std::cout, capture.records());
+  return 0;
+}
+
+int cmd_route(int a, int b) {
+  World w(false);
+  core::BleCapacityEstimator cap;
+  hybrid::LinkMetricTable table;
+  for (const auto& [s, d] : w.tb.plc_links()) {
+    if (w.tb.plc_channel().mean_snr_db(s, d, 0, w.sim.now()) < 4.0) continue;
+    const double ble = w.warmed_ble(s, d);
+    table.update(s, d, hybrid::Medium::kPlc,
+                 {cap.throughput_from_ble(ble), 0.0, w.sim.now()});
+  }
+  for (const auto& [s, d] : w.tb.all_pairs()) {
+    const double mcs = w.tb.wifi().mcs_capacity_mbps(s, d, w.sim.now());
+    if (mcs >= 1.0) {
+      table.update(s, d, hybrid::Medium::kWifi, {0.75 * mcs, 0.0, w.sim.now()});
+    }
+  }
+  hybrid::MeshRouter router(table);
+  const auto path = router.route(a, b, w.sim.now());
+  if (path.empty()) {
+    std::printf("route %d -> %d: unreachable\n", a, b);
+    return 1;
+  }
+  std::printf("route: %d", a);
+  for (const auto& hop : path) {
+    std::printf(" -[%s]-> %d", to_string(hop.medium).c_str(), hop.to);
+  }
+  std::printf("  (ETT %.2f ms)\n", router.path_ett_ms(path, w.sim.now()));
+  return 0;
+}
+
+int cmd_guidelines() {
+  for (const auto& g : core::guidelines()) {
+    std::printf("%-22.*s %s (sec. %.*s)\n", static_cast<int>(g.policy.size()),
+                g.policy.data(), std::string(g.guideline).c_str(),
+                static_cast<int>(g.paper_section.size()), g.paper_section.data());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto station_args = [&](int needed) {
+    return argc >= 2 + needed;
+  };
+  if (cmd == "survey") {
+    const bool night = argc > 2 && std::strcmp(argv[2], "--night") == 0;
+    return cmd_survey(night);
+  }
+  if (cmd == "guidelines") return cmd_guidelines();
+  if (!station_args(2)) return usage();
+  const int a = std::atoi(argv[2]);
+  const int b = std::atoi(argv[3]);
+  if (a < 0 || a >= testbed::Testbed::kStations || b < 0 ||
+      b >= testbed::Testbed::kStations || a == b) {
+    return usage();
+  }
+  if (cmd == "rate") return cmd_rate(a, b);
+  if (cmd == "stat") return cmd_stat(a, b);
+  if (cmd == "route") return cmd_route(a, b);
+  if (cmd == "trace" || cmd == "sniff") {
+    const double seconds = argc > 4 ? std::atof(argv[4]) : 10.0;
+    if (seconds <= 0 || seconds > 3600) return usage();
+    return cmd == "trace" ? cmd_trace(a, b, seconds) : cmd_sniff(a, b, seconds);
+  }
+  return usage();
+}
