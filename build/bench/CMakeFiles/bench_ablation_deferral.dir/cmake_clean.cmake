@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deferral.dir/bench_ablation_deferral.cpp.o"
+  "CMakeFiles/bench_ablation_deferral.dir/bench_ablation_deferral.cpp.o.d"
+  "bench_ablation_deferral"
+  "bench_ablation_deferral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deferral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_wifi_vs_plc.dir/bench_fig03_wifi_vs_plc.cpp.o"
+  "CMakeFiles/bench_fig03_wifi_vs_plc.dir/bench_fig03_wifi_vs_plc.cpp.o.d"
+  "bench_fig03_wifi_vs_plc"
+  "bench_fig03_wifi_vs_plc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_wifi_vs_plc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

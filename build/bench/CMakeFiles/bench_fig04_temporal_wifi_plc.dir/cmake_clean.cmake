@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_temporal_wifi_plc.dir/bench_fig04_temporal_wifi_plc.cpp.o"
+  "CMakeFiles/bench_fig04_temporal_wifi_plc.dir/bench_fig04_temporal_wifi_plc.cpp.o.d"
+  "bench_fig04_temporal_wifi_plc"
+  "bench_fig04_temporal_wifi_plc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_temporal_wifi_plc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_asymmetry.dir/bench_fig06_asymmetry.cpp.o"
+  "CMakeFiles/bench_fig06_asymmetry.dir/bench_fig06_asymmetry.cpp.o.d"
+  "bench_fig06_asymmetry"
+  "bench_fig06_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_invariance.dir/bench_fig09_invariance.cpp.o"
+  "CMakeFiles/bench_fig09_invariance.dir/bench_fig09_invariance.cpp.o.d"
+  "bench_fig09_invariance"
+  "bench_fig09_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

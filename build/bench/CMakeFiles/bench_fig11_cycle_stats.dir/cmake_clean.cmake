@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cycle_stats.dir/bench_fig11_cycle_stats.cpp.o"
+  "CMakeFiles/bench_fig11_cycle_stats.dir/bench_fig11_cycle_stats.cpp.o.d"
+  "bench_fig11_cycle_stats"
+  "bench_fig11_cycle_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cycle_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_random_2day.dir/bench_fig12_random_2day.cpp.o"
+  "CMakeFiles/bench_fig12_random_2day.dir/bench_fig12_random_2day.cpp.o.d"
+  "bench_fig12_random_2day"
+  "bench_fig12_random_2day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_random_2day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

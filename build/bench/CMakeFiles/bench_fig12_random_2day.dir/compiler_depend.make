@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_random_2day.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_random_good.dir/bench_fig13_random_good.cpp.o"
+  "CMakeFiles/bench_fig13_random_good.dir/bench_fig13_random_good.cpp.o.d"
+  "bench_fig13_random_good"
+  "bench_fig13_random_good.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_random_good.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_random_bad.dir/bench_fig14_random_bad.cpp.o"
+  "CMakeFiles/bench_fig14_random_bad.dir/bench_fig14_random_bad.cpp.o.d"
+  "bench_fig14_random_bad"
+  "bench_fig14_random_bad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_random_bad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

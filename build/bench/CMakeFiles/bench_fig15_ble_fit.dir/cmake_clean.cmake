@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_ble_fit.dir/bench_fig15_ble_fit.cpp.o"
+  "CMakeFiles/bench_fig15_ble_fit.dir/bench_fig15_ble_fit.cpp.o.d"
+  "bench_fig15_ble_fit"
+  "bench_fig15_ble_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ble_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_pause_resume.dir/bench_fig17_pause_resume.cpp.o"
+  "CMakeFiles/bench_fig17_pause_resume.dir/bench_fig17_pause_resume.cpp.o.d"
+  "bench_fig17_pause_resume"
+  "bench_fig17_pause_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_pause_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_broadcast_etx.dir/bench_fig21_broadcast_etx.cpp.o"
+  "CMakeFiles/bench_fig21_broadcast_etx.dir/bench_fig21_broadcast_etx.cpp.o.d"
+  "bench_fig21_broadcast_etx"
+  "bench_fig21_broadcast_etx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_broadcast_etx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_uetx.dir/bench_fig22_uetx.cpp.o"
+  "CMakeFiles/bench_fig22_uetx.dir/bench_fig22_uetx.cpp.o.d"
+  "bench_fig22_uetx"
+  "bench_fig22_uetx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_uetx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

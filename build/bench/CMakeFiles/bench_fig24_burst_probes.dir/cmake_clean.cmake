@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_burst_probes.dir/bench_fig24_burst_probes.cpp.o"
+  "CMakeFiles/bench_fig24_burst_probes.dir/bench_fig24_burst_probes.cpp.o.d"
+  "bench_fig24_burst_probes"
+  "bench_fig24_burst_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_burst_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

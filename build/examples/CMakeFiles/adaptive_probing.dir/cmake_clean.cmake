@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_probing.dir/adaptive_probing.cpp.o"
+  "CMakeFiles/adaptive_probing.dir/adaptive_probing.cpp.o.d"
+  "adaptive_probing"
+  "adaptive_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

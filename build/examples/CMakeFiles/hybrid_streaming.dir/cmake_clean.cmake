@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_streaming.dir/hybrid_streaming.cpp.o"
+  "CMakeFiles/hybrid_streaming.dir/hybrid_streaming.cpp.o.d"
+  "hybrid_streaming"
+  "hybrid_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_routing.dir/mesh_routing.cpp.o"
+  "CMakeFiles/mesh_routing.dir/mesh_routing.cpp.o.d"
+  "mesh_routing"
+  "mesh_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/efd_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/efd_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/efd_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/efd_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/etx.cpp" "src/core/CMakeFiles/efd_core.dir/etx.cpp.o" "gcc" "src/core/CMakeFiles/efd_core.dir/etx.cpp.o.d"
+  "/root/repo/src/core/guidelines.cpp" "src/core/CMakeFiles/efd_core.dir/guidelines.cpp.o" "gcc" "src/core/CMakeFiles/efd_core.dir/guidelines.cpp.o.d"
+  "/root/repo/src/core/interference.cpp" "src/core/CMakeFiles/efd_core.dir/interference.cpp.o" "gcc" "src/core/CMakeFiles/efd_core.dir/interference.cpp.o.d"
+  "/root/repo/src/core/probing.cpp" "src/core/CMakeFiles/efd_core.dir/probing.cpp.o" "gcc" "src/core/CMakeFiles/efd_core.dir/probing.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/efd_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/efd_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/sof_capture.cpp" "src/core/CMakeFiles/efd_core.dir/sof_capture.cpp.o" "gcc" "src/core/CMakeFiles/efd_core.dir/sof_capture.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/efd_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/efd_core.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/efd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/efd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/plc/CMakeFiles/efd_plc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/efd_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/efd_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

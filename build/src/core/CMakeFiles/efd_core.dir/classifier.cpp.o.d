@@ -1,0 +1,3 @@
+src/core/CMakeFiles/efd_core.dir/classifier.cpp.o: \
+ /root/repo/src/core/classifier.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/sim/../../src/core/classifier.hpp

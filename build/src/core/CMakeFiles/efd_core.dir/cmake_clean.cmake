@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efd_core.dir/capacity.cpp.o"
+  "CMakeFiles/efd_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/efd_core.dir/classifier.cpp.o"
+  "CMakeFiles/efd_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/efd_core.dir/etx.cpp.o"
+  "CMakeFiles/efd_core.dir/etx.cpp.o.d"
+  "CMakeFiles/efd_core.dir/guidelines.cpp.o"
+  "CMakeFiles/efd_core.dir/guidelines.cpp.o.d"
+  "CMakeFiles/efd_core.dir/interference.cpp.o"
+  "CMakeFiles/efd_core.dir/interference.cpp.o.d"
+  "CMakeFiles/efd_core.dir/probing.cpp.o"
+  "CMakeFiles/efd_core.dir/probing.cpp.o.d"
+  "CMakeFiles/efd_core.dir/sampler.cpp.o"
+  "CMakeFiles/efd_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/efd_core.dir/sof_capture.cpp.o"
+  "CMakeFiles/efd_core.dir/sof_capture.cpp.o.d"
+  "CMakeFiles/efd_core.dir/trace_io.cpp.o"
+  "CMakeFiles/efd_core.dir/trace_io.cpp.o.d"
+  "libefd_core.a"
+  "libefd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

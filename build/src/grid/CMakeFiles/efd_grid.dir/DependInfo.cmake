@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/appliance.cpp" "src/grid/CMakeFiles/efd_grid.dir/appliance.cpp.o" "gcc" "src/grid/CMakeFiles/efd_grid.dir/appliance.cpp.o.d"
+  "/root/repo/src/grid/power_grid.cpp" "src/grid/CMakeFiles/efd_grid.dir/power_grid.cpp.o" "gcc" "src/grid/CMakeFiles/efd_grid.dir/power_grid.cpp.o.d"
+  "/root/repo/src/grid/schedule.cpp" "src/grid/CMakeFiles/efd_grid.dir/schedule.cpp.o" "gcc" "src/grid/CMakeFiles/efd_grid.dir/schedule.cpp.o.d"
+  "/root/repo/src/grid/value_noise.cpp" "src/grid/CMakeFiles/efd_grid.dir/value_noise.cpp.o" "gcc" "src/grid/CMakeFiles/efd_grid.dir/value_noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/efd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

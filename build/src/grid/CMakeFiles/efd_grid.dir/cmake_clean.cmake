@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efd_grid.dir/appliance.cpp.o"
+  "CMakeFiles/efd_grid.dir/appliance.cpp.o.d"
+  "CMakeFiles/efd_grid.dir/power_grid.cpp.o"
+  "CMakeFiles/efd_grid.dir/power_grid.cpp.o.d"
+  "CMakeFiles/efd_grid.dir/schedule.cpp.o"
+  "CMakeFiles/efd_grid.dir/schedule.cpp.o.d"
+  "CMakeFiles/efd_grid.dir/value_noise.cpp.o"
+  "CMakeFiles/efd_grid.dir/value_noise.cpp.o.d"
+  "libefd_grid.a"
+  "libefd_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efd_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

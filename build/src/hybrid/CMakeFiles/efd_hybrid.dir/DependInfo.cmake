@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hybrid/device.cpp" "src/hybrid/CMakeFiles/efd_hybrid.dir/device.cpp.o" "gcc" "src/hybrid/CMakeFiles/efd_hybrid.dir/device.cpp.o.d"
+  "/root/repo/src/hybrid/link_metrics.cpp" "src/hybrid/CMakeFiles/efd_hybrid.dir/link_metrics.cpp.o" "gcc" "src/hybrid/CMakeFiles/efd_hybrid.dir/link_metrics.cpp.o.d"
+  "/root/repo/src/hybrid/reorder.cpp" "src/hybrid/CMakeFiles/efd_hybrid.dir/reorder.cpp.o" "gcc" "src/hybrid/CMakeFiles/efd_hybrid.dir/reorder.cpp.o.d"
+  "/root/repo/src/hybrid/routing.cpp" "src/hybrid/CMakeFiles/efd_hybrid.dir/routing.cpp.o" "gcc" "src/hybrid/CMakeFiles/efd_hybrid.dir/routing.cpp.o.d"
+  "/root/repo/src/hybrid/scheduler.cpp" "src/hybrid/CMakeFiles/efd_hybrid.dir/scheduler.cpp.o" "gcc" "src/hybrid/CMakeFiles/efd_hybrid.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/efd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/efd_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efd_hybrid.dir/device.cpp.o"
+  "CMakeFiles/efd_hybrid.dir/device.cpp.o.d"
+  "CMakeFiles/efd_hybrid.dir/link_metrics.cpp.o"
+  "CMakeFiles/efd_hybrid.dir/link_metrics.cpp.o.d"
+  "CMakeFiles/efd_hybrid.dir/reorder.cpp.o"
+  "CMakeFiles/efd_hybrid.dir/reorder.cpp.o.d"
+  "CMakeFiles/efd_hybrid.dir/routing.cpp.o"
+  "CMakeFiles/efd_hybrid.dir/routing.cpp.o.d"
+  "CMakeFiles/efd_hybrid.dir/scheduler.cpp.o"
+  "CMakeFiles/efd_hybrid.dir/scheduler.cpp.o.d"
+  "libefd_hybrid.a"
+  "libefd_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efd_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efd_net.dir/meters.cpp.o"
+  "CMakeFiles/efd_net.dir/meters.cpp.o.d"
+  "CMakeFiles/efd_net.dir/sources.cpp.o"
+  "CMakeFiles/efd_net.dir/sources.cpp.o.d"
+  "libefd_net.a"
+  "libefd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

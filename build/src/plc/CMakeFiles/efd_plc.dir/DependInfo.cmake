@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plc/channel.cpp" "src/plc/CMakeFiles/efd_plc.dir/channel.cpp.o" "gcc" "src/plc/CMakeFiles/efd_plc.dir/channel.cpp.o.d"
+  "/root/repo/src/plc/channel_estimator.cpp" "src/plc/CMakeFiles/efd_plc.dir/channel_estimator.cpp.o" "gcc" "src/plc/CMakeFiles/efd_plc.dir/channel_estimator.cpp.o.d"
+  "/root/repo/src/plc/mac.cpp" "src/plc/CMakeFiles/efd_plc.dir/mac.cpp.o" "gcc" "src/plc/CMakeFiles/efd_plc.dir/mac.cpp.o.d"
+  "/root/repo/src/plc/medium.cpp" "src/plc/CMakeFiles/efd_plc.dir/medium.cpp.o" "gcc" "src/plc/CMakeFiles/efd_plc.dir/medium.cpp.o.d"
+  "/root/repo/src/plc/modulation.cpp" "src/plc/CMakeFiles/efd_plc.dir/modulation.cpp.o" "gcc" "src/plc/CMakeFiles/efd_plc.dir/modulation.cpp.o.d"
+  "/root/repo/src/plc/network.cpp" "src/plc/CMakeFiles/efd_plc.dir/network.cpp.o" "gcc" "src/plc/CMakeFiles/efd_plc.dir/network.cpp.o.d"
+  "/root/repo/src/plc/phy.cpp" "src/plc/CMakeFiles/efd_plc.dir/phy.cpp.o" "gcc" "src/plc/CMakeFiles/efd_plc.dir/phy.cpp.o.d"
+  "/root/repo/src/plc/station.cpp" "src/plc/CMakeFiles/efd_plc.dir/station.cpp.o" "gcc" "src/plc/CMakeFiles/efd_plc.dir/station.cpp.o.d"
+  "/root/repo/src/plc/tone_map.cpp" "src/plc/CMakeFiles/efd_plc.dir/tone_map.cpp.o" "gcc" "src/plc/CMakeFiles/efd_plc.dir/tone_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/efd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/efd_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/efd_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efd_plc.dir/channel.cpp.o"
+  "CMakeFiles/efd_plc.dir/channel.cpp.o.d"
+  "CMakeFiles/efd_plc.dir/channel_estimator.cpp.o"
+  "CMakeFiles/efd_plc.dir/channel_estimator.cpp.o.d"
+  "CMakeFiles/efd_plc.dir/mac.cpp.o"
+  "CMakeFiles/efd_plc.dir/mac.cpp.o.d"
+  "CMakeFiles/efd_plc.dir/medium.cpp.o"
+  "CMakeFiles/efd_plc.dir/medium.cpp.o.d"
+  "CMakeFiles/efd_plc.dir/modulation.cpp.o"
+  "CMakeFiles/efd_plc.dir/modulation.cpp.o.d"
+  "CMakeFiles/efd_plc.dir/network.cpp.o"
+  "CMakeFiles/efd_plc.dir/network.cpp.o.d"
+  "CMakeFiles/efd_plc.dir/phy.cpp.o"
+  "CMakeFiles/efd_plc.dir/phy.cpp.o.d"
+  "CMakeFiles/efd_plc.dir/station.cpp.o"
+  "CMakeFiles/efd_plc.dir/station.cpp.o.d"
+  "CMakeFiles/efd_plc.dir/tone_map.cpp.o"
+  "CMakeFiles/efd_plc.dir/tone_map.cpp.o.d"
+  "libefd_plc.a"
+  "libefd_plc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efd_plc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

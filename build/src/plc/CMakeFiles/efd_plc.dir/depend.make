@@ -1,0 +1,2 @@
+# Empty dependencies file for efd_plc.
+# This may be replaced when dependencies are built.

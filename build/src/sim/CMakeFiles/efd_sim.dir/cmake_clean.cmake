@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efd_sim.dir/rng.cpp.o"
+  "CMakeFiles/efd_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/efd_sim.dir/simulator.cpp.o"
+  "CMakeFiles/efd_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/efd_sim.dir/stats.cpp.o"
+  "CMakeFiles/efd_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/efd_sim.dir/time.cpp.o"
+  "CMakeFiles/efd_sim.dir/time.cpp.o.d"
+  "libefd_sim.a"
+  "libefd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efd_testbed.dir/experiment.cpp.o"
+  "CMakeFiles/efd_testbed.dir/experiment.cpp.o.d"
+  "CMakeFiles/efd_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/efd_testbed.dir/testbed.cpp.o.d"
+  "libefd_testbed.a"
+  "libefd_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efd_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libefd_testbed.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/channel.cpp" "src/wifi/CMakeFiles/efd_wifi.dir/channel.cpp.o" "gcc" "src/wifi/CMakeFiles/efd_wifi.dir/channel.cpp.o.d"
+  "/root/repo/src/wifi/mac.cpp" "src/wifi/CMakeFiles/efd_wifi.dir/mac.cpp.o" "gcc" "src/wifi/CMakeFiles/efd_wifi.dir/mac.cpp.o.d"
+  "/root/repo/src/wifi/mcs.cpp" "src/wifi/CMakeFiles/efd_wifi.dir/mcs.cpp.o" "gcc" "src/wifi/CMakeFiles/efd_wifi.dir/mcs.cpp.o.d"
+  "/root/repo/src/wifi/network.cpp" "src/wifi/CMakeFiles/efd_wifi.dir/network.cpp.o" "gcc" "src/wifi/CMakeFiles/efd_wifi.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/efd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/efd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/efd_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

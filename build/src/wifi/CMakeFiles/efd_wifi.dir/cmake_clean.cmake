@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efd_wifi.dir/channel.cpp.o"
+  "CMakeFiles/efd_wifi.dir/channel.cpp.o.d"
+  "CMakeFiles/efd_wifi.dir/mac.cpp.o"
+  "CMakeFiles/efd_wifi.dir/mac.cpp.o.d"
+  "CMakeFiles/efd_wifi.dir/mcs.cpp.o"
+  "CMakeFiles/efd_wifi.dir/mcs.cpp.o.d"
+  "CMakeFiles/efd_wifi.dir/network.cpp.o"
+  "CMakeFiles/efd_wifi.dir/network.cpp.o.d"
+  "libefd_wifi.a"
+  "libefd_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efd_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

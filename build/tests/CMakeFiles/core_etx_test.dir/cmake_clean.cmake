@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_etx_test.dir/core_etx_test.cpp.o"
+  "CMakeFiles/core_etx_test.dir/core_etx_test.cpp.o.d"
+  "core_etx_test"
+  "core_etx_test.pdb"
+  "core_etx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_etx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

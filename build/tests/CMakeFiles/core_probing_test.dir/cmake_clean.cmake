@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_probing_test.dir/core_probing_test.cpp.o"
+  "CMakeFiles/core_probing_test.dir/core_probing_test.cpp.o.d"
+  "core_probing_test"
+  "core_probing_test.pdb"
+  "core_probing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_probing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

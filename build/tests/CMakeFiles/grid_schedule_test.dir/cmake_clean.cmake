@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_schedule_test.dir/grid_schedule_test.cpp.o"
+  "CMakeFiles/grid_schedule_test.dir/grid_schedule_test.cpp.o.d"
+  "grid_schedule_test"
+  "grid_schedule_test.pdb"
+  "grid_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

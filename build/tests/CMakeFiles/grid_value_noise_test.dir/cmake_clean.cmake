@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_value_noise_test.dir/grid_value_noise_test.cpp.o"
+  "CMakeFiles/grid_value_noise_test.dir/grid_value_noise_test.cpp.o.d"
+  "grid_value_noise_test"
+  "grid_value_noise_test.pdb"
+  "grid_value_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_value_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

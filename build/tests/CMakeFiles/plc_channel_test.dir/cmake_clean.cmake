@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_channel_test.dir/plc_channel_test.cpp.o"
+  "CMakeFiles/plc_channel_test.dir/plc_channel_test.cpp.o.d"
+  "plc_channel_test"
+  "plc_channel_test.pdb"
+  "plc_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

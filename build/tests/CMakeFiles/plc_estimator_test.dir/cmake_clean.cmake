@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_estimator_test.dir/plc_estimator_test.cpp.o"
+  "CMakeFiles/plc_estimator_test.dir/plc_estimator_test.cpp.o.d"
+  "plc_estimator_test"
+  "plc_estimator_test.pdb"
+  "plc_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_network_test.dir/plc_network_test.cpp.o"
+  "CMakeFiles/plc_network_test.dir/plc_network_test.cpp.o.d"
+  "plc_network_test"
+  "plc_network_test.pdb"
+  "plc_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_tone_map_test.dir/plc_tone_map_test.cpp.o"
+  "CMakeFiles/plc_tone_map_test.dir/plc_tone_map_test.cpp.o.d"
+  "plc_tone_map_test"
+  "plc_tone_map_test.pdb"
+  "plc_tone_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_tone_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_time_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_value_noise_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_appliance_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_power_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/plc_modulation_test[1]_include.cmake")
+include("/root/repo/build/tests/plc_tone_map_test[1]_include.cmake")
+include("/root/repo/build/tests/plc_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/plc_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/plc_mac_test[1]_include.cmake")
+include("/root/repo/build/tests/plc_priority_test[1]_include.cmake")
+include("/root/repo/build/tests/plc_network_test[1]_include.cmake")
+include("/root/repo/build/tests/wifi_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/core_capacity_test[1]_include.cmake")
+include("/root/repo/build/tests/core_etx_test[1]_include.cmake")
+include("/root/repo/build/tests/core_interference_test[1]_include.cmake")
+include("/root/repo/build/tests/core_trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/core_probing_test[1]_include.cmake")
+include("/root/repo/build/tests/core_sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/efd_cli.cpp" "tools/CMakeFiles/efd.dir/efd_cli.cpp.o" "gcc" "tools/CMakeFiles/efd.dir/efd_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/efd_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/efd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/efd_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/plc/CMakeFiles/efd_plc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/efd_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/efd_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/efd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/efd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

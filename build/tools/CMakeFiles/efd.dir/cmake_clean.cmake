@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efd.dir/efd_cli.cpp.o"
+  "CMakeFiles/efd.dir/efd_cli.cpp.o.d"
+  "efd"
+  "efd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
