@@ -1,9 +1,41 @@
 // Fig. 3 + §4.1: WiFi vs PLC for all station pairs — mean and standard
 // deviation of back-to-back saturated throughput, connectivity, and the
 // performance/variability ratios vs floor distance.
+//
+// Sweep modes (EFD_BENCH_THREADS): unset -> legacy back-to-back sweep on one
+// shared testbed (byte-identical to the historical output); n >= 1 -> each
+// pair measured on its own per-task testbed via ParallelRunner, output
+// identical for every worker count.
+#include "src/testbed/parallel_runner.hpp"
+
 #include "bench_util.hpp"
 
 using namespace efd;
+
+namespace {
+
+struct PairResult {
+  int a = 0, b = 0;
+  double dist_m = 0.0;
+  testbed::ThroughputResult plc;
+  testbed::ThroughputResult wifi;
+};
+
+PairResult measure_pair(testbed::Testbed& tb, int a, int b) {
+  const auto duration = sim::seconds(8);
+  PairResult r;
+  r.a = a;
+  r.b = b;
+  r.dist_m = tb.floor_distance_m(a, b);
+  if (tb.same_plc_network(a, b)) {
+    bench::warm_link(tb, a, b);
+    r.plc = testbed::measure_plc_throughput(tb, a, b, duration);
+  }
+  r.wifi = testbed::measure_wifi_throughput(tb, a, b, duration);
+  return r;
+}
+
+}  // namespace
 
 int main() {
   bench::header(
@@ -11,6 +43,7 @@ int main() {
       "PLC connects 100% of WiFi-connected pairs; WiFi misses ~19% of PLC pairs; "
       "~52% of pairs faster on PLC; sigma_W up to ~19 Mb/s vs sigma_P < 4 Mb/s; "
       "no WiFi connectivity beyond ~35 m while PLC still delivers");
+  bench::JsonReporter json("fig03");
 
   sim::Simulator sim;
   testbed::Testbed::Config cfg;
@@ -18,26 +51,24 @@ int main() {
   testbed::Testbed tb(sim, cfg);
   sim.run_until(testbed::weekday_afternoon());
 
-  struct PairResult {
-    int a, b;
-    double dist_m;
-    testbed::ThroughputResult plc;
-    testbed::ThroughputResult wifi;
-  };
   std::vector<PairResult> results;
-
-  const auto duration = sim::seconds(8);
-  for (const auto& [a, b] : tb.all_pairs()) {
-    PairResult r;
-    r.a = a;
-    r.b = b;
-    r.dist_m = tb.floor_distance_m(a, b);
-    if (tb.same_plc_network(a, b)) {
-      bench::warm_link(tb, a, b);
-      r.plc = testbed::measure_plc_throughput(tb, a, b, duration);
+  const int threads = testbed::ParallelRunner::env_threads();
+  if (threads == 0) {
+    for (const auto& [a, b] : tb.all_pairs()) {
+      results.push_back(measure_pair(tb, a, b));
     }
-    r.wifi = testbed::measure_wifi_throughput(tb, a, b, duration);
-    results.push_back(r);
+  } else {
+    std::printf("sweep: per-pair testbeds on %d worker(s)\n", threads);
+    const auto pairs = tb.all_pairs();
+    const testbed::ParallelRunner pool(threads);
+    results = pool.map<PairResult>(
+        static_cast<int>(pairs.size()), [&pairs, &cfg](int i) {
+          sim::Simulator task_sim;
+          testbed::Testbed task_tb(task_sim, cfg);
+          task_sim.run_until(testbed::weekday_afternoon());
+          return measure_pair(task_tb, pairs[static_cast<std::size_t>(i)].first,
+                              pairs[static_cast<std::size_t>(i)].second);
+        });
   }
 
   const auto connected = [](const testbed::ThroughputResult& t) {
@@ -69,6 +100,14 @@ int main() {
       if (pc) sigma_p.add(r.plc.std_mbps);
     }
   }
+
+  json.add("pairs_total", static_cast<double>(results.size()), "pairs");
+  json.add("plc_connected", plc_conn, "pairs");
+  json.add("wifi_connected", wifi_conn, "pairs");
+  json.add("pct_faster_on_plc",
+           100.0 * plc_faster / std::max(1, comparable_pairs), "%");
+  json.add("sigma_wifi_max", sigma_w.max(), "Mb/s");
+  json.add("sigma_plc_max", sigma_p.max(), "Mb/s");
 
   bench::section("connectivity");
   std::printf("pairs total: %zu (PLC possible on %zu same-network pairs)\n",

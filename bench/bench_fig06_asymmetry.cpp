@@ -1,15 +1,43 @@
 // Fig. 6 + §5: throughput asymmetry of PLC links — both directions of every
 // link, the most asymmetric pairs, and the fraction of pairs above 1.5x.
+//
+// Sweep modes (EFD_BENCH_THREADS): unset -> legacy sweep on one shared
+// testbed; n >= 1 -> per-pair testbeds fanned out via ParallelRunner.
 #include <algorithm>
+
+#include "src/testbed/parallel_runner.hpp"
 
 #include "bench_util.hpp"
 
 using namespace efd;
 
+namespace {
+
+struct PairResult {
+  int a = 0, b = 0;
+  double fwd = 0.0, rev = 0.0;
+  [[nodiscard]] double ratio() const {
+    const double lo = std::min(fwd, rev), hi = std::max(fwd, rev);
+    return lo > 0.1 ? hi / lo : 100.0;
+  }
+};
+
+PairResult measure_pair(testbed::Testbed& tb, int a, int b) {
+  bench::warm_link(tb, a, b);
+  bench::warm_link(tb, b, a);
+  PairResult r{a, b, 0, 0};
+  r.fwd = testbed::measure_plc_throughput(tb, a, b, sim::seconds(8)).mean_mbps;
+  r.rev = testbed::measure_plc_throughput(tb, b, a, sim::seconds(8)).mean_mbps;
+  return r;
+}
+
+}  // namespace
+
 int main() {
   bench::header("Fig. 6", "PLC throughput asymmetry",
                 "~30% of station pairs show >1.5x asymmetry; examples where one "
                 "direction is <60% of the other");
+  bench::JsonReporter json("fig06");
 
   sim::Simulator sim;
   testbed::Testbed::Config cfg;
@@ -17,22 +45,31 @@ int main() {
   testbed::Testbed tb(sim, cfg);
   sim.run_until(testbed::weekday_afternoon());
 
-  struct PairResult {
-    int a, b;
-    double fwd, rev;
-    [[nodiscard]] double ratio() const {
-      const double lo = std::min(fwd, rev), hi = std::max(fwd, rev);
-      return lo > 0.1 ? hi / lo : 100.0;
-    }
-  };
-  std::vector<PairResult> pairs;
+  std::vector<std::pair<int, int>> links;
   for (const auto& [a, b] : tb.plc_links()) {
     if (a > b) continue;  // one entry per undirected pair
-    bench::warm_link(tb, a, b);
-    bench::warm_link(tb, b, a);
-    PairResult r{a, b, 0, 0};
-    r.fwd = testbed::measure_plc_throughput(tb, a, b, sim::seconds(8)).mean_mbps;
-    r.rev = testbed::measure_plc_throughput(tb, b, a, sim::seconds(8)).mean_mbps;
+    links.emplace_back(a, b);
+  }
+
+  std::vector<PairResult> measured;
+  const int threads = testbed::ParallelRunner::env_threads();
+  if (threads == 0) {
+    for (const auto& [a, b] : links) measured.push_back(measure_pair(tb, a, b));
+  } else {
+    std::printf("sweep: per-pair testbeds on %d worker(s)\n", threads);
+    const testbed::ParallelRunner pool(threads);
+    measured = pool.map<PairResult>(
+        static_cast<int>(links.size()), [&links, &cfg](int i) {
+          sim::Simulator task_sim;
+          testbed::Testbed task_tb(task_sim, cfg);
+          task_sim.run_until(testbed::weekday_afternoon());
+          return measure_pair(task_tb, links[static_cast<std::size_t>(i)].first,
+                              links[static_cast<std::size_t>(i)].second);
+        });
+  }
+
+  std::vector<PairResult> pairs;
+  for (const auto& r : measured) {
     if (r.fwd > 0.5 || r.rev > 0.5) pairs.push_back(r);
   }
 
@@ -57,5 +94,8 @@ int main() {
   std::printf("pairs measured: %zu\n", pairs.size());
   std::printf("pairs with >1.5x asymmetry: %.0f%%  (paper: ~30%%)\n",
               100.0 * above_15 / std::max<std::size_t>(1, pairs.size()));
+  json.add("pairs_measured", static_cast<double>(pairs.size()), "pairs");
+  json.add("pct_above_1.5x",
+           100.0 * above_15 / std::max<std::size_t>(1, pairs.size()), "%");
   return 0;
 }

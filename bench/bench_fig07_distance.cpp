@@ -1,38 +1,67 @@
 // Fig. 7 + §5: saturated throughput vs cable distance for every link, with
 // both HomePlug AV and HPAV500; plus PBerr vs throughput (right panel).
+//
+// Sweep modes (EFD_BENCH_THREADS): unset -> legacy sweep on one shared
+// testbed; n >= 1 -> per-link testbeds fanned out via ParallelRunner.
+#include "src/testbed/parallel_runner.hpp"
+
 #include "bench_util.hpp"
 
 using namespace efd;
+
+namespace {
+
+struct Row {
+  int a = 0, b = 0;
+  double dist = 0.0;
+  double t_av = 0.0, t_av500 = 0.0;
+  double pberr_av = 0.0;
+};
+
+Row measure_link(testbed::Testbed& tb, int a, int b) {
+  Row r{a, b, tb.plc_channel().cable_distance(a, b), 0, 0, 0};
+  bench::warm_link(tb, a, b, testbed::PlcGeneration::kHpav);
+  r.t_av = testbed::measure_plc_throughput(tb, a, b, sim::seconds(8),
+                                           testbed::PlcGeneration::kHpav)
+               .mean_mbps;
+  r.pberr_av = tb.plc_network_of(b).mm_pberr(a, b);
+  bench::warm_link(tb, a, b, testbed::PlcGeneration::kHpav500);
+  r.t_av500 = testbed::measure_plc_throughput(tb, a, b, sim::seconds(8),
+                                              testbed::PlcGeneration::kHpav500)
+                  .mean_mbps;
+  return r;
+}
+
+}  // namespace
 
 int main() {
   bench::header("Fig. 7", "throughput vs cable distance (AV and AV500); PBerr vs T",
                 "clear degradation with distance; <30 m guarantees good links, "
                 "30-100 m can be good or bad; AV500 revives some dead AV links "
                 "(with severe asymmetry); PBerr decreases as throughput rises");
+  bench::JsonReporter json("fig07");
 
   sim::Simulator sim;
   testbed::Testbed tb(sim);  // both generations
   sim.run_until(testbed::weekday_afternoon());
 
-  struct Row {
-    int a, b;
-    double dist;
-    double t_av, t_av500;
-    double pberr_av;
-  };
   std::vector<Row> rows;
-  for (const auto& [a, b] : tb.plc_links()) {
-    Row r{a, b, tb.plc_channel().cable_distance(a, b), 0, 0, 0};
-    bench::warm_link(tb, a, b, testbed::PlcGeneration::kHpav);
-    r.t_av = testbed::measure_plc_throughput(tb, a, b, sim::seconds(8),
-                                             testbed::PlcGeneration::kHpav)
-                 .mean_mbps;
-    r.pberr_av = tb.plc_network_of(b).mm_pberr(a, b);
-    bench::warm_link(tb, a, b, testbed::PlcGeneration::kHpav500);
-    r.t_av500 = testbed::measure_plc_throughput(tb, a, b, sim::seconds(8),
-                                                testbed::PlcGeneration::kHpav500)
-                    .mean_mbps;
-    rows.push_back(r);
+  const int threads = testbed::ParallelRunner::env_threads();
+  if (threads == 0) {
+    for (const auto& [a, b] : tb.plc_links()) {
+      rows.push_back(measure_link(tb, a, b));
+    }
+  } else {
+    std::printf("sweep: per-link testbeds on %d worker(s)\n", threads);
+    const auto links = tb.plc_links();
+    const testbed::ParallelRunner pool(threads);
+    rows = pool.map<Row>(static_cast<int>(links.size()), [&links](int i) {
+      sim::Simulator task_sim;
+      testbed::Testbed task_tb(task_sim);  // both generations
+      task_sim.run_until(testbed::weekday_afternoon());
+      return measure_link(task_tb, links[static_cast<std::size_t>(i)].first,
+                          links[static_cast<std::size_t>(i)].second);
+    });
   }
 
   bench::section("throughput vs cable distance (bucket means and ranges)");
@@ -65,6 +94,8 @@ int main() {
   }
   std::printf("total revived links: %d (paper: e.g. link 10-2, 10x asymmetry)\n",
               revived);
+  json.add("links_measured", static_cast<double>(rows.size()), "links");
+  json.add("revived_on_av500", revived, "links");
 
   bench::section("PBerr vs throughput (AV)");
   std::printf("%-14s %10s %8s\n", "T bucket", "mean PBerr", "links");

@@ -4,8 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include "src/grid/appliance.hpp"
+#include "src/grid/carrier_workspace.hpp"
 #include "src/plc/channel.hpp"
 #include "src/plc/channel_estimator.hpp"
+#include "src/plc/modulation.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace {
@@ -55,6 +57,38 @@ void BM_GridAttenuation(benchmark::State& state) {
 }
 BENCHMARK(BM_GridAttenuation);
 
+void BM_GridAttenuationWorkspace(benchmark::State& state) {
+  Rig rig;
+  grid::CarrierWorkspace ws;
+  const auto t = sim::days(1) + sim::hours(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rig.grid.attenuation_db(0, 2, rig.channel->phy().band, t, ws));
+  }
+}
+BENCHMARK(BM_GridAttenuationWorkspace);
+
+void BM_GridNoisePsd(benchmark::State& state) {
+  Rig rig;
+  const auto t = sim::days(1) + sim::hours(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rig.grid.noise_psd_db(2, rig.channel->phy().band, t, 2, 6));
+  }
+}
+BENCHMARK(BM_GridNoisePsd);
+
+void BM_GridNoisePsdWorkspace(benchmark::State& state) {
+  Rig rig;
+  grid::CarrierWorkspace ws;
+  const auto t = sim::days(1) + sim::hours(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rig.grid.noise_psd_db(2, rig.channel->phy().band, t, 2, 6, ws));
+  }
+}
+BENCHMARK(BM_GridNoisePsdWorkspace);
+
 void BM_ChannelSnrCached(benchmark::State& state) {
   Rig rig;
   const auto t = sim::days(1) + sim::hours(12);
@@ -77,6 +111,41 @@ void BM_ToneMapFromSnr(benchmark::State& state) {
 }
 BENCHMARK(BM_ToneMapFromSnr);
 
+void BM_PbErrorCold(benchmark::State& state) {
+  // The un-memoized kernel: mean LUT-backed uncoded BER over 917 loaded
+  // carriers pushed through the FEC waterfall.
+  Rig rig;
+  const auto t = sim::days(1) + sim::hours(12);
+  const auto snr = rig.channel->snr_db(0, 1, 0, t);
+  const auto tm = plc::ToneMap::from_snr(snr, 1.5, rig.channel->phy(), 0.01, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm.pb_error_probability(snr, rig.channel->phy()));
+  }
+}
+BENCHMARK(BM_PbErrorCold);
+
+void BM_UncodedBer(benchmark::State& state) {
+  double snr = -40.0;
+  for (auto _ : state) {
+    snr += 0.37;
+    if (snr > 40.0) snr = -40.0;
+    benchmark::DoNotOptimize(
+        plc::uncoded_ber(plc::Modulation::kQam64, snr));
+  }
+}
+BENCHMARK(BM_UncodedBer);
+
+void BM_UncodedBerExact(benchmark::State& state) {
+  double snr = -40.0;
+  for (auto _ : state) {
+    snr += 0.37;
+    if (snr > 40.0) snr = -40.0;
+    benchmark::DoNotOptimize(
+        plc::uncoded_ber_exact(plc::Modulation::kQam64, snr));
+  }
+}
+BENCHMARK(BM_UncodedBerExact);
+
 void BM_PbErrorMemoized(benchmark::State& state) {
   Rig rig;
   const auto t = sim::days(1) + sim::hours(12);
@@ -87,6 +156,20 @@ void BM_PbErrorMemoized(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PbErrorMemoized);
+
+void BM_BuildSlotMap(benchmark::State& state) {
+  // One slot's full bit-loading pass (perturbed-SNR copy + margin ladder),
+  // the kernel behind every estimator retune.
+  Rig rig;
+  plc::ChannelEstimator est(*rig.channel, 0, 1, sim::Rng{3}, {});
+  const sim::Time now = sim::days(1) + sim::hours(12);
+  est.on_sound_frame(now);
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.build_slot_map(2, now, 1.5, ++id));
+  }
+}
+BENCHMARK(BM_BuildSlotMap);
 
 void BM_EstimatorFrameUpdate(benchmark::State& state) {
   Rig rig;

@@ -5,9 +5,11 @@
 // corresponding paper table or figure plus the reference shape to compare
 // against. See DESIGN.md §4 for the experiment index.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/capacity.hpp"
@@ -19,6 +21,64 @@
 #include "src/testbed/experiment.hpp"
 
 namespace efd::bench {
+
+/// Machine-readable bench results: collects (name, value, unit) metrics and
+/// writes `BENCH_<figure>.json` next to the human-readable table on
+/// destruction, including the run's wall-clock. Downstream tooling diffs
+/// these files across commits to track the perf/shape trajectory.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string figure)
+      : figure_(std::move(figure)), start_(std::chrono::steady_clock::now()) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  void add(const std::string& name, double value, const std::string& unit) {
+    metrics_.push_back({name, unit, value});
+  }
+
+  ~JsonReporter() {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::string path = "BENCH_" + figure_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"figure\": \"%s\",\n", escaped(figure_).c_str());
+    std::fprintf(f, "  \"wall_clock_s\": %.3f,\n", wall_s);
+    std::fprintf(f, "  \"metrics\": [\n");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                   escaped(m.name).c_str(), m.value, escaped(m.unit).c_str(),
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string unit;
+    double value;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string figure_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Metric> metrics_;
+};
 
 inline void header(const char* figure, const char* title, const char* paper_shape) {
   std::printf("==============================================================\n");

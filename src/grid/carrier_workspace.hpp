@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+namespace efd::grid {
+
+/// Caller-owned scratch buffers for the allocation-free per-carrier query
+/// variants of PowerGrid / PlcChannel. Multi-day trace generation calls the
+/// per-carrier kernels millions of times; routing every query through a
+/// workspace keeps the hot path free of std::vector allocations. Buffers
+/// grow to the band's carrier count on first use and are reused afterwards.
+///
+/// A workspace is NOT thread-safe: use one per thread (the channel layer
+/// keeps a thread_local instance for its own internal queries).
+struct CarrierWorkspace {
+  std::vector<double> att_db;    ///< attenuation_db output
+  std::vector<double> noise_db;  ///< noise_psd_db output
+  std::vector<double> power;     ///< linear-domain accumulator (noise kernel)
+  std::vector<double> snr_db;    ///< channel-layer SNR output
+};
+
+}  // namespace efd::grid

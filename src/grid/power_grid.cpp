@@ -5,6 +5,7 @@
 #include <limits>
 #include <numbers>
 
+#include "src/grid/db_units.hpp"
 #include "src/grid/value_noise.hpp"
 
 namespace efd::grid {
@@ -59,8 +60,40 @@ int PowerGrid::add_appliance(Appliance appliance) {
   assert(appliance.outlet >= 0 && appliance.outlet < node_count());
   distances_valid_ = false;  // noise-neighbor lists must be rebuilt
   epoch_bucket_ = -1;
+  profiles_.clear();  // per-(appliance, band) tables must be rebuilt
   appliances_.push_back(std::move(appliance));
   return static_cast<int>(appliances_.size()) - 1;
+}
+
+const PowerGrid::BandProfiles& PowerGrid::ensure_profiles(const CarrierBand& band) const {
+  for (const BandProfiles& p : profiles_) {
+    if (p.band.f_min_mhz == band.f_min_mhz && p.band.f_max_mhz == band.f_max_mhz &&
+        p.band.n_carriers == band.n_carriers) {
+      return p;
+    }
+  }
+  BandProfiles p;
+  p.band = band;
+  const auto n = static_cast<std::size_t>(band.n_carriers);
+  p.freq_mhz.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.freq_mhz[i] = band.carrier_mhz(static_cast<int>(i));
+  }
+  p.notch_sin.resize(appliances_.size() * n);
+  p.color_lin.resize(appliances_.size() * n);
+  for (std::size_t k = 0; k < appliances_.size(); ++k) {
+    const Appliance& j = appliances_[k];
+    const double phi = 2.0 * std::numbers::pi * ValueNoise::hash01(j.seed, 300);
+    double* notch = &p.notch_sin[k * n];
+    double* color = &p.color_lin[k * n];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double f = p.freq_mhz[i];
+      notch[i] = std::sin(2.0 * std::numbers::pi * f * j.branch_delay_us + phi);
+      color[i] = db_to_linear(j.noise.base_db + j.noise.color_db_per_mhz * f);
+    }
+  }
+  profiles_.push_back(std::move(p));
+  return profiles_.back();
 }
 
 void PowerGrid::ensure_distances() const {
@@ -135,14 +168,28 @@ double PowerGrid::path_weight(const Appliance& j, int a, int b) const {
 
 std::vector<double> PowerGrid::attenuation_db(int a, int b, const CarrierBand& band,
                                               sim::Time t) const {
+  std::vector<double> att;
+  attenuation_db(a, b, band, t, att);
+  return att;
+}
+
+std::span<const double> PowerGrid::attenuation_db(int a, int b, const CarrierBand& band,
+                                                  sim::Time t, CarrierWorkspace& ws) const {
+  attenuation_db(a, b, band, t, ws.att_db);
+  return ws.att_db;
+}
+
+void PowerGrid::attenuation_db(int a, int b, const CarrierBand& band, sim::Time t,
+                               std::vector<double>& out) const {
   ensure_distances();
   assert(a >= 0 && a < node_count() && b >= 0 && b < node_count());
+  const auto n = static_cast<std::size_t>(band.n_carriers);
   const double d = dist(a, b);
-  std::vector<double> att(static_cast<std::size_t>(band.n_carriers), 0.0);
   if (d == kInf) {
-    att.assign(att.size(), 200.0);  // no electrical path
-    return att;
+    out.assign(n, 200.0);  // no electrical path
+    return;
   }
+  const BandProfiles& prof = ensure_profiles(band);
 
   // Transmitter-side injection loss: low-impedance loads plugged near the
   // transmitter shunt the injected signal, and the outlet's own coupling
@@ -172,39 +219,46 @@ std::vector<double> PowerGrid::attenuation_db(int a, int b, const CarrierBand& b
   // observation intact.
   const double lumped_db =
       extra(a, b) + kTapLossDb * std::max(0, hops(a, b) - 1);
-  for (int i = 0; i < band.n_carriers; ++i) {
-    const double f = band.carrier_mhz(i);
-    att[static_cast<std::size_t>(i)] =
-        cable_loss_db(d, f) + lumped_db + injection_db + drift_db;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = cable_loss_db(d, prof.freq_mhz[i]) + lumped_db + injection_db + drift_db;
   }
 
   // Multipath notches from impedance mismatches of powered appliances near
   // the path. Each appliance's branch line creates frequency-periodic
-  // notches at spacing 1/branch_delay.
-  for (const Appliance& j : appliances_) {
+  // notches at spacing 1/branch_delay; the sine profile is time-invariant
+  // and read from the band table.
+  for (std::size_t k = 0; k < appliances_.size(); ++k) {
+    const Appliance& j = appliances_[k];
     if (!j.schedule.is_on(t)) continue;
     const double w = path_weight(j, a, b);
     if (w < 1e-3) continue;
     const double gamma = reflection(j.impedance_ohm);
-    const double phi = 2.0 * std::numbers::pi * ValueNoise::hash01(j.seed, 300);
     const double depth = j.notch_depth_db * gamma * w;
     const double broadband = 0.5 * gamma * w;
-    for (int i = 0; i < band.n_carriers; ++i) {
-      const double f = band.carrier_mhz(i);
-      const double s =
-          std::sin(2.0 * std::numbers::pi * f * j.branch_delay_us + phi);
-      att[static_cast<std::size_t>(i)] += broadband + depth * s * s;
+    const double* notch = &prof.notch_sin[k * n];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double s = notch[i];
+      out[i] += broadband + depth * s * s;
     }
   }
-  return att;
 }
 
 std::vector<double> PowerGrid::noise_psd_db(int b, const CarrierBand& band, sim::Time t,
                                             int slot, int n_slots) const {
+  CarrierWorkspace ws;
+  const auto span = noise_psd_db(b, band, t, slot, n_slots, ws);
+  return {span.begin(), span.end()};
+}
+
+std::span<const double> PowerGrid::noise_psd_db(int b, const CarrierBand& band,
+                                                sim::Time t, int slot, int n_slots,
+                                                CarrierWorkspace& ws) const {
   ensure_distances();
   assert(b >= 0 && b < node_count());
   assert(slot >= 0 && slot < n_slots);
-  std::vector<double> noise(static_cast<std::size_t>(band.n_carriers), 0.0);
+  const BandProfiles& prof = ensure_profiles(band);
+  const auto n = static_cast<std::size_t>(band.n_carriers);
   // Background mains noise: the grid outside the building couples in a
   // residual wideband, mains-synchronous component that never switches off
   // (why night traces still wiggle, §6.2). It sits over the 0 dB floor.
@@ -212,27 +266,30 @@ std::vector<double> PowerGrid::noise_psd_db(int b, const CarrierBand& band, sim:
   const double bg_db =
       1.0 + 1.5 * 0.5 * (1.0 + std::sin(2.0 * std::numbers::pi * bg_phase + 0.7));
   // Accumulate appliance contributions in the power domain over the floor.
-  std::vector<double> power(noise.size(), 1.0 + std::pow(10.0, bg_db / 10.0));
-  for (const Appliance& j : appliances_) {
+  // Each appliance factors into (per-query scalar) x (precomputed spectral
+  // profile), so the inner loop carries no transcendentals.
+  ws.power.assign(n, 1.0 + db_to_linear(bg_db));
+  double* power = ws.power.data();
+  for (int k : noise_neighbors_[static_cast<std::size_t>(b)]) {
+    const Appliance& j = appliances_[static_cast<std::size_t>(k)];
     if (!j.schedule.is_on(t)) continue;
     const double coupling = noise_coupling(j, b);
-    if (coupling < 1e-3) continue;
     // The -3 dB injection factor models the appliance's own EMI filtering;
     // calibrated so working-hours load costs links a few dB of SNR, not
     // their lives (the paper's day/night swing is a handful of Mb/s).
     const double coupling_db = 10.0 * std::log10(coupling) - 6.0;
     const double sync_db = j.noise.sync_db * slot_weight(j, slot, n_slots);
-    for (int i = 0; i < band.n_carriers; ++i) {
-      const double f = band.carrier_mhz(i);
-      const double level_db = j.noise.base_db + sync_db +
-                              j.noise.color_db_per_mhz * f + coupling_db;
-      power[static_cast<std::size_t>(i)] += std::pow(10.0, level_db / 10.0);
+    const double scale = db_to_linear(sync_db + coupling_db);
+    const double* color = &prof.color_lin[static_cast<std::size_t>(k) * n];
+    for (std::size_t i = 0; i < n; ++i) {
+      power[i] += scale * color[i];
     }
   }
-  for (std::size_t i = 0; i < noise.size(); ++i) {
-    noise[i] = 10.0 * std::log10(power[i]);
+  ws.noise_db.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.noise_db[i] = linear_to_db(power[i]);
   }
-  return noise;
+  return ws.noise_db;
 }
 
 double PowerGrid::fast_noise_offset_db(int b, sim::Time t) const {

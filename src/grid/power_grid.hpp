@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/grid/appliance.hpp"
+#include "src/grid/carrier_workspace.hpp"
 #include "src/sim/time.hpp"
 
 namespace efd::grid {
@@ -71,6 +73,18 @@ class PowerGrid {
   [[nodiscard]] std::vector<double> attenuation_db(int a, int b, const CarrierBand& band,
                                                    sim::Time t) const;
 
+  /// Allocation-free variant: writes the per-carrier attenuation into `out`
+  /// (resized to the band's carrier count, no reallocation once warm). The
+  /// per-carrier work runs off profile tables precomputed per (appliance,
+  /// band) — the notch phase and spectral shape are time-invariant; only the
+  /// on/off schedule and the scalar coupling terms are evaluated per query.
+  void attenuation_db(int a, int b, const CarrierBand& band, sim::Time t,
+                      std::vector<double>& out) const;
+
+  /// Workspace variant: writes into `ws.att_db` and returns a span over it.
+  std::span<const double> attenuation_db(int a, int b, const CarrierBand& band,
+                                         sim::Time t, CarrierWorkspace& ws) const;
+
   /// Noise PSD per carrier, in dB above the receiver floor, at outlet `b`
   /// for tone-map slot `slot` of `n_slots`. Captures the static shape and
   /// the mains-synchronous (invariance-scale) component; the fast jitter is
@@ -78,6 +92,15 @@ class PowerGrid {
   /// this vector per state epoch.
   [[nodiscard]] std::vector<double> noise_psd_db(int b, const CarrierBand& band, sim::Time t,
                                                  int slot, int n_slots) const;
+
+  /// Allocation-free variant: accumulates in `ws.power`, writes the dB
+  /// result into `ws.noise_db` and returns a span over it. Each powered
+  /// neighboring appliance contributes scalar x precomputed-spectral-profile
+  /// in the linear power domain, so the per-carrier loop is multiply-add
+  /// only (no pow/log per carrier).
+  std::span<const double> noise_psd_db(int b, const CarrierBand& band, sim::Time t,
+                                       int slot, int n_slots,
+                                       CarrierWorkspace& ws) const;
 
   /// Cycle-scale scalar noise offset at outlet `b` (dB): appliance jitter
   /// plus switching impulses, varying over tens of milliseconds.
@@ -93,7 +116,21 @@ class PowerGrid {
   [[nodiscard]] int appliances_on(sim::Time t) const;
 
  private:
+  /// Time-invariant per-carrier tables for one carrier band: the carrier
+  /// frequencies, and per appliance the squared-sine notch profile (the
+  /// `sin` phase and branch-delay period never change) plus the linear-
+  /// domain spectral noise profile 10^((base_db + color_db_per_mhz*f)/10).
+  /// Rebuilt lazily whenever an appliance is added; a grid typically serves
+  /// one or two bands (HPAV / HPAV500).
+  struct BandProfiles {
+    CarrierBand band;
+    std::vector<double> freq_mhz;   ///< [n_carriers]
+    std::vector<double> notch_sin;  ///< [appliance][carrier], row-major
+    std::vector<double> color_lin;  ///< [appliance][carrier], row-major
+  };
+
   void ensure_distances() const;
+  [[nodiscard]] const BandProfiles& ensure_profiles(const CarrierBand& band) const;
 
   /// Coupling weight in [0,1] of appliance `j`'s noise as seen from outlet
   /// `node`: decays with cable distance.
@@ -121,6 +158,9 @@ class PowerGrid {
   /// Per-node list of appliances with non-negligible noise coupling,
   /// rebuilt with the distance matrix.
   mutable std::vector<std::vector<int>> noise_neighbors_;
+
+  /// Lazily built per-band profile tables (see BandProfiles).
+  mutable std::vector<BandProfiles> profiles_;
 
   [[nodiscard]] double dist(int a, int b) const {
     return dist_[static_cast<std::size_t>(a) * names_.size() + static_cast<std::size_t>(b)];

@@ -5,6 +5,16 @@
 
 namespace efd::plc {
 
+namespace {
+/// Per-thread scratch for cache-miss rebuilds and offset-shifted SNR
+/// copies: keeps the hot path allocation-free without threading a
+/// workspace through every caller.
+grid::CarrierWorkspace& scratch() {
+  thread_local grid::CarrierWorkspace ws;
+  return ws;
+}
+}  // namespace
+
 void PlcChannel::attach_station(net::StationId id, int outlet) {
   assert(outlet >= 0 && outlet < grid_.node_count());
   outlets_[id] = outlet;
@@ -24,19 +34,29 @@ int PlcChannel::slot_at(sim::Time t) const {
 
 PlcChannel::SnrEntry& PlcChannel::entry(net::StationId a, net::StationId b, int slot,
                                         sim::Time t) const {
-  SnrEntry& e = cache_[link_key(a, b, slot)];
   const std::uint64_t epoch = grid_.state_epoch(t);
+  if (!cache_epoch_valid_ || cache_epoch_ != epoch) {
+    // Appliance state moved: every cached vector and memo is stale. Evict
+    // wholesale so entries for links that are never queried again cannot
+    // accumulate across epochs.
+    cache_.clear();
+    atten_cache_.clear();
+    cache_epoch_ = epoch;
+    cache_epoch_valid_ = true;
+  }
+  SnrEntry& e = cache_[link_key(a, b, slot)];
   if (e.epoch == epoch && !e.snr_db.empty()) return e;
 
   const int oa = outlet(a);
   const int ob = outlet(b);
   AttenEntry& ae = atten_cache_[link_key(a, b, 0x3f)];
   if (ae.epoch != epoch || ae.att_db.empty()) {
-    ae.att_db = grid_.attenuation_db(oa, ob, phy_.band, t);
+    grid_.attenuation_db(oa, ob, phy_.band, t, ae.att_db);
     ae.epoch = epoch;
   }
   const auto& att = ae.att_db;
-  const auto noise = grid_.noise_psd_db(ob, phy_.band, t, slot, phy_.tone_map_slots);
+  const auto noise =
+      grid_.noise_psd_db(ob, phy_.band, t, slot, phy_.tone_map_slots, scratch());
   e.snr_db.resize(att.size());
   for (std::size_t i = 0; i < att.size(); ++i) {
     e.snr_db[i] = phy_.tx_psd_db - att[i] - noise[i];
@@ -63,6 +83,18 @@ std::vector<double> PlcChannel::snr_db(net::StationId a, net::StationId b, int s
   return snr;
 }
 
+std::span<const double> PlcChannel::snr_db(net::StationId a, net::StationId b, int slot,
+                                           sim::Time t,
+                                           grid::CarrierWorkspace& ws) const {
+  const auto& snr = entry(a, b, slot, t).snr_db;
+  const double offset = fast_offset_db(b, t);
+  ws.snr_db.resize(snr.size());
+  for (std::size_t i = 0; i < snr.size(); ++i) {
+    ws.snr_db[i] = snr[i] - offset;
+  }
+  return ws.snr_db;
+}
+
 double PlcChannel::pb_error_probability(const ToneMap& tm, net::StationId a,
                                         net::StationId b, int slot, sim::Time t) const {
   SnrEntry& e = entry(a, b, slot, t);
@@ -75,10 +107,14 @@ double PlcChannel::pb_error_probability(const ToneMap& tm, net::StationId a,
   const auto it = e.pberr.find(key);
   if (it != e.pberr.end()) return it->second;
 
-  std::vector<double> snr = e.snr_db;
+  // Shift into per-thread scratch instead of copying the 917-entry vector.
+  grid::CarrierWorkspace& ws = scratch();
   const double off = static_cast<double>(bucket) / 4.0;
-  for (double& v : snr) v -= off;
-  const double p = tm.pb_error_probability(snr, phy_);
+  ws.snr_db.resize(e.snr_db.size());
+  for (std::size_t i = 0; i < e.snr_db.size(); ++i) {
+    ws.snr_db[i] = e.snr_db[i] - off;
+  }
+  const double p = tm.pb_error_probability(ws.snr_db, phy_);
   // Bound the memo: tone maps churn on bad links, so evict wholesale.
   if (e.pberr.size() > 4096) e.pberr.clear();
   e.pberr[key] = p;

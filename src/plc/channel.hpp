@@ -1,8 +1,10 @@
 #pragma once
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "src/grid/carrier_workspace.hpp"
 #include "src/grid/mains.hpp"
 #include "src/grid/power_grid.hpp"
 #include "src/net/packet.hpp"
@@ -16,12 +18,16 @@ namespace efd::plc {
 /// and serves per-carrier SNR and PB error probabilities to the MAC and the
 /// channel estimator.
 ///
-/// Performance: per-carrier vectors are cached per (link, slot) and
-/// invalidated when the grid's appliance state epoch changes; the fast
-/// (cycle-scale) noise term is a scalar uniformly shifting SNR, so cached
-/// vectors stay valid across it. PB error probabilities are memoized per
-/// (link, slot, tone map, quantized fast offset), which keeps saturated
-/// frame-level simulation cheap.
+/// Performance: per-carrier vectors are cached per (link, slot) and the
+/// whole cache is evicted when the grid's appliance state epoch changes
+/// (stale entries for links no longer queried would otherwise accumulate
+/// across epochs); the fast (cycle-scale) noise term is a scalar uniformly
+/// shifting SNR, so cached vectors stay valid across it. PB error
+/// probabilities are memoized per (link, slot, tone map, quantized fast
+/// offset), which keeps saturated frame-level simulation cheap. Internal
+/// per-carrier scratch lives in a thread_local grid::CarrierWorkspace, so
+/// cache-miss rebuilds allocate nothing once warm; the channel itself is
+/// not thread-safe — parallel experiments use one channel per thread.
 class PlcChannel {
  public:
   PlcChannel(const grid::PowerGrid& grid, PhyParams phy)
@@ -42,6 +48,11 @@ class PlcChannel {
   /// including the cycle-scale noise offset at time `t`.
   [[nodiscard]] std::vector<double> snr_db(net::StationId a, net::StationId b, int slot,
                                            sim::Time t) const;
+
+  /// Allocation-free variant: writes into `ws.snr_db` and returns a span
+  /// over it (valid until the workspace is next used).
+  std::span<const double> snr_db(net::StationId a, net::StationId b, int slot,
+                                 sim::Time t, grid::CarrierWorkspace& ws) const;
 
   /// Static per-carrier SNR without the fast offset (cached); the offset to
   /// subtract is `fast_offset_db`.
@@ -89,6 +100,10 @@ class PlcChannel {
   std::unordered_map<net::StationId, int> outlets_;
   mutable std::unordered_map<std::uint64_t, SnrEntry> cache_;
   mutable std::unordered_map<std::uint64_t, AttenEntry> atten_cache_;
+  /// Epoch the caches were filled under; both maps are cleared wholesale
+  /// when it moves (like the per-entry pberr memo), bounding cache growth.
+  mutable std::uint64_t cache_epoch_ = 0;
+  mutable bool cache_epoch_valid_ = false;
 };
 
 }  // namespace efd::plc

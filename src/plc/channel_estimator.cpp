@@ -21,7 +21,9 @@ double ChannelEstimator::current_uncertainty_db() const {
 ToneMap ChannelEstimator::build_slot_map(int slot, sim::Time now, double margin_db,
                                          std::uint32_t id) const {
   const PhyParams& phy = channel_.phy();
-  std::vector<double> snr = channel_.static_snr_db(tx_, rx_, slot, now);
+  const auto& static_snr = channel_.static_snr_db(tx_, rx_, slot, now);
+  snr_scratch_.assign(static_snr.begin(), static_snr.end());
+  std::vector<double>& snr = snr_scratch_;
   // The receiver's measurements include part of the instantaneous noise and
   // a per-carrier estimation error that shrinks with accumulated samples.
   const double offset = channel_.fast_offset_db(rx_, now) * cfg_.offset_tracking;

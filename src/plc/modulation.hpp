@@ -33,7 +33,17 @@ inline constexpr int kModulationCount = 8;
 /// Approximate uncoded bit-error rate of `m` at the given carrier SNR.
 /// Standard Gray-coded square-QAM approximation; used to derive PB error
 /// probabilities for tone maps that are mismatched to the channel.
+///
+/// Backed by a per-modulation lookup table over SNR quantized at 0.1 dB
+/// with linear interpolation — this sits in the innermost per-carrier loop
+/// of `ToneMap::pb_error_probability`, where the closed form's
+/// pow/sqrt/erfc triple dominates multi-day trace generation. Matches
+/// `uncoded_ber_exact` within 1e-4 absolute everywhere (regression-tested).
 [[nodiscard]] double uncoded_ber(Modulation m, double snr_db);
+
+/// The exact closed form (Q-function / erfc); kept as the reference the
+/// LUT is built from and verified against.
+[[nodiscard]] double uncoded_ber_exact(Modulation m, double snr_db);
 
 [[nodiscard]] std::string to_string(Modulation m);
 

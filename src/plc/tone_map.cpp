@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/grid/db_units.hpp"
+
 namespace efd::plc {
 
 namespace {
@@ -86,11 +88,11 @@ double ToneMap::pb_error_probability(std::span<const double> actual_snr_db,
     // frames decodable on links whose data quality is poor (§8.1).
     double mean_linear = 0.0;
     for (double snr : actual_snr_db) {
-      mean_linear += std::pow(10.0, snr / 10.0);
+      mean_linear += grid::db_to_linear(snr);
     }
     mean_linear /= static_cast<double>(actual_snr_db.size());
     const double combined_db =
-        10.0 * std::log10(robo_repetitions_ * std::max(1e-6, mean_linear));
+        grid::linear_to_db(robo_repetitions_ * std::max(1e-6, mean_linear));
     const double ber =
         uncoded_ber(Modulation::kQpsk, combined_db + kCodingGainDb);
     return fec_waterfall(ber);

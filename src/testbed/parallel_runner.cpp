@@ -1,0 +1,57 @@
+#include "src/testbed/parallel_runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace efd::testbed {
+
+ParallelRunner::ParallelRunner(int n_threads) : n_threads_(n_threads) {
+  if (n_threads_ <= 0) {
+    n_threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (n_threads_ <= 0) n_threads_ = 1;
+  }
+}
+
+void ParallelRunner::run(int n_tasks, const std::function<void(int)>& fn) const {
+  if (n_tasks <= 0) return;
+  const int workers = std::min(n_threads_, n_tasks);
+  if (workers <= 1) {
+    // Serial fast path: same claim order, no thread machinery.
+    for (int i = 0; i < n_tasks; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n_tasks) return;
+          try {
+            fn(i);
+          } catch (...) {
+            const std::scoped_lock lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+int ParallelRunner::env_threads() {
+  const char* env = std::getenv("EFD_BENCH_THREADS");
+  if (env == nullptr) return 0;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 0;
+}
+
+}  // namespace efd::testbed

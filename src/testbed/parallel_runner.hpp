@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace efd::testbed {
+
+/// Deterministic fan-out of independent experiment closures across a small
+/// pool of std::jthread workers.
+///
+/// Contract: every task is self-contained — it constructs its own
+/// sim::Simulator / Testbed from a deterministic per-task seed and touches
+/// no shared mutable state (the grid/channel caches are mutable and not
+/// thread-safe, so they must stay thread-confined). Task `i`'s result is
+/// then a pure function of `i`, results are collected by index, and a run
+/// is bit-identical for ANY worker count, including 1 (the serial order).
+/// That property is what makes the link-sweep benches parallelizable
+/// without perturbing the reproduction: parallelism changes wall-clock
+/// only, never output.
+class ParallelRunner {
+ public:
+  /// `n_threads <= 0` uses the hardware concurrency.
+  explicit ParallelRunner(int n_threads = 0);
+
+  [[nodiscard]] int thread_count() const { return n_threads_; }
+
+  /// Run `fn(i)` for every `i` in [0, n_tasks). Tasks are claimed from an
+  /// atomic counter, so scheduling is dynamic but results must not depend
+  /// on claim order (see the class contract). The first exception thrown
+  /// by a task is rethrown here after all workers drain.
+  void run(int n_tasks, const std::function<void(int)>& fn) const;
+
+  /// Map variant: `results[i] = fn(i)`.
+  template <typename R>
+  [[nodiscard]] std::vector<R> map(int n_tasks,
+                                   const std::function<R(int)>& fn) const {
+    std::vector<R> results(static_cast<std::size_t>(n_tasks));
+    run(n_tasks, [&](int i) { results[static_cast<std::size_t>(i)] = fn(i); });
+    return results;
+  }
+
+  /// Worker count requested via the EFD_BENCH_THREADS environment variable;
+  /// 0 when unset or unparsable. The figure benches treat 0 as "legacy
+  /// shared-testbed sequential sweep" (byte-identical to the seed output)
+  /// and any n >= 1 as the per-task-testbed decomposition run on n workers
+  /// (whose output is identical for every n, per the class contract).
+  [[nodiscard]] static int env_threads();
+
+ private:
+  int n_threads_;
+};
+
+}  // namespace efd::testbed

@@ -175,6 +175,57 @@ TEST(PowerGrid, NoiseVariesAcrossToneMapSlots) {
   EXPECT_GT(hi - lo, 0.3);
 }
 
+TEST(PowerGrid, WorkspaceAttenuationIsBitIdenticalToVectorApi) {
+  SmallGrid g;
+  Appliance fridge = make_appliance(ApplianceType::kFridge, g.j, 81);
+  fridge.schedule = ActivitySchedule::always_on();
+  g.grid.add_appliance(fridge);
+  const CarrierBand band{};
+  const auto t = weekday_noon();
+  const auto ref = g.grid.attenuation_db(g.a, g.b, band, t);
+
+  CarrierWorkspace ws;
+  const auto span = g.grid.attenuation_db(g.a, g.b, band, t, ws);
+  ASSERT_EQ(span.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(span[i], ref[i]);
+
+  std::vector<double> out;
+  g.grid.attenuation_db(g.a, g.b, band, t, out);
+  ASSERT_EQ(out.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(out[i], ref[i]);
+}
+
+TEST(PowerGrid, WorkspaceNoisePsdMatchesVectorApi) {
+  SmallGrid g;
+  Appliance lights = make_appliance(ApplianceType::kLightBank, g.j, 91);
+  lights.schedule = ActivitySchedule::always_on();
+  g.grid.add_appliance(lights);
+  const CarrierBand band{};
+  const auto t = weekday_noon();
+  for (int slot = 0; slot < 6; ++slot) {
+    const auto ref = g.grid.noise_psd_db(g.b, band, t, slot, 6);
+    CarrierWorkspace ws;
+    const auto span = g.grid.noise_psd_db(g.b, band, t, slot, 6, ws);
+    ASSERT_EQ(span.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(span[i], ref[i], 1e-12) << "slot " << slot << " carrier " << i;
+    }
+  }
+}
+
+TEST(PowerGrid, WorkspaceReuseAcrossLinksStaysCorrect) {
+  // Scratch reuse must not leak one link's carriers into the next query.
+  SmallGrid g;
+  const CarrierBand band{};
+  const auto t = weekday_noon();
+  CarrierWorkspace ws;
+  (void)g.grid.attenuation_db(g.a, g.b, band, t, ws);
+  const auto ref = g.grid.attenuation_db(g.j, g.b, band, t);
+  const auto span = g.grid.attenuation_db(g.j, g.b, band, t, ws);
+  ASSERT_EQ(span.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(span[i], ref[i]);
+}
+
 TEST(PowerGrid, StateEpochChangesWithApplianceToggles) {
   SmallGrid g;
   g.grid.add_appliance(make_appliance(ApplianceType::kLightBank, g.j, 51));

@@ -89,6 +89,30 @@ TEST(Modulation, OffCarrierHasNoErrors) {
   EXPECT_DOUBLE_EQ(uncoded_ber(Modulation::kOff, -100.0), 0.0);
 }
 
+TEST(Modulation, LutMatchesExactWithin1e4Everywhere) {
+  // The LUT-backed fast path must track the closed form within 1e-4
+  // absolute over the whole operating range, including beyond the table
+  // ends where it clamps (the BER curve is flat there).
+  for (Modulation m : kLadder) {
+    for (double snr = -85.0; snr <= 65.0; snr += 0.01) {
+      ASSERT_NEAR(uncoded_ber(m, snr), uncoded_ber_exact(m, snr), 1e-4)
+          << to_string(m) << " at " << snr << " dB";
+    }
+  }
+}
+
+TEST(Modulation, LutIsExactAtExtremes) {
+  for (Modulation m : kLadder) {
+    if (m == Modulation::kOff) continue;
+    // Deep noise: the LUT clamps at its -80 dB end, where the curve has
+    // already flattened onto the 0.5-ish error floor — the clamp error is
+    // what the -80 dB table floor was sized for.
+    EXPECT_NEAR(uncoded_ber(m, -200.0), uncoded_ber_exact(m, -200.0), 1e-4);
+    // High SNR: both sides are (denormal-level) zero.
+    EXPECT_NEAR(uncoded_ber(m, 100.0), 0.0, 1e-12);
+  }
+}
+
 TEST(Modulation, ToStringIsTotal) {
   for (Modulation m : kLadder) EXPECT_NE(to_string(m), "unknown");
 }

@@ -1,0 +1,81 @@
+#include "src/testbed/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/testbed/experiment.hpp"
+#include "src/testbed/testbed.hpp"
+
+namespace efd::testbed {
+namespace {
+
+TEST(ParallelRunner, MapCollectsResultsByIndex) {
+  const ParallelRunner pool(4);
+  const auto out = pool.map<int>(64, [](int i) { return i * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ParallelRunner, RunVisitsEveryTaskExactlyOnce) {
+  const ParallelRunner pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.run(50, [&](int i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRunner, ZeroTasksIsANoop) {
+  const ParallelRunner pool(4);
+  pool.run(0, [](int) { FAIL() << "no task should run"; });
+}
+
+TEST(ParallelRunner, TaskExceptionIsRethrown) {
+  const ParallelRunner pool(4);
+  EXPECT_THROW(pool.run(16,
+                        [](int i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+}
+
+TEST(ParallelRunner, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ParallelRunner().thread_count(), 1);
+  EXPECT_EQ(ParallelRunner(5).thread_count(), 5);
+}
+
+/// The contract that makes the figure-bench fan-out safe: a task that
+/// builds its own Simulator + Testbed is a pure function of its index, so
+/// the result vector is bit-identical for any worker count.
+double per_task_testbed_metric(int i) {
+  sim::Simulator sim;
+  Testbed::Config cfg;
+  cfg.with_hpav500 = false;
+  Testbed tb(sim, cfg);
+  sim.run_until(weekday_afternoon());
+  const auto& links = tb.plc_links();
+  const auto& [a, b] = links[static_cast<std::size_t>(i) % links.size()];
+  const auto snr = tb.plc_channel().snr_db(a, b, i % 6, sim.now());
+  return std::accumulate(snr.begin(), snr.end(), 0.0);
+}
+
+TEST(ParallelRunner, PerTaskTestbedsAreBitIdenticalAcrossWorkerCounts) {
+  constexpr int kTasks = 6;
+  const auto serial =
+      ParallelRunner(1).map<double>(kTasks, per_task_testbed_metric);
+  const auto parallel =
+      ParallelRunner(4).map<double>(kTasks, per_task_testbed_metric);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (int i = 0; i < kTasks; ++i) {
+    // Exact equality on purpose: parallelism may change wall-clock only,
+    // never output.
+    EXPECT_EQ(serial[static_cast<std::size_t>(i)],
+              parallel[static_cast<std::size_t>(i)])
+        << "task " << i;
+  }
+}
+
+}  // namespace
+}  // namespace efd::testbed
