@@ -22,7 +22,7 @@ struct PairResult {
 };
 
 PairResult measure_pair(testbed::Testbed& tb, int a, int b) {
-  const auto duration = sim::seconds(8);
+  const auto duration = sim::seconds(8.0 * bench::duration_scale());
   PairResult r;
   r.a = a;
   r.b = b;

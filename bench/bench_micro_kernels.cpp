@@ -5,6 +5,7 @@
 
 #include "src/grid/appliance.hpp"
 #include "src/grid/carrier_workspace.hpp"
+#include "src/obs/obs.hpp"
 #include "src/plc/channel.hpp"
 #include "src/plc/channel_estimator.hpp"
 #include "src/plc/modulation.hpp"
@@ -170,6 +171,52 @@ void BM_BuildSlotMap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildSlotMap);
+
+// --- efd::obs overhead (DESIGN.md §8) -------------------------------------
+// The instrumentation's three cost tiers: enabled (relaxed RMW on a
+// thread-local shard), runtime-disabled (one relaxed load + branch — what
+// every instrumented kernel above pays when EFD_OBS=0), and the histogram
+// path. Compile-time removal (EFD_OBS_ENABLED=0) has no bench: there is
+// nothing left to time.
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    EFD_COUNTER_INC("bench.obs.counter");
+  }
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsCounterIncDisabled(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    EFD_COUNTER_INC("bench.obs.counter");
+  }
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_ObsCounterIncDisabled);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    EFD_HISTO_OBSERVE("bench.obs.histogram", ++v & 0xfff);
+  }
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSnapshot(benchmark::State& state) {
+  EFD_COUNTER_INC("bench.obs.counter");  // ensure something is registered
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::MetricsRegistry::instance().snapshot());
+  }
+}
+BENCHMARK(BM_ObsSnapshot);
 
 void BM_EstimatorFrameUpdate(benchmark::State& state) {
   Rig rig;

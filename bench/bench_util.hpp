@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -17,15 +18,32 @@
 #include "src/core/sof_capture.hpp"
 #include "src/net/meters.hpp"
 #include "src/net/sources.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sim/stats.hpp"
 #include "src/testbed/experiment.hpp"
 
 namespace efd::bench {
 
+/// Multiplier for simulated experiment durations, from the EFD_BENCH_SCALE
+/// environment variable (default 1.0). CI's bench smoke job sets a fraction
+/// so a full figure bench finishes in seconds; the output keeps its shape,
+/// only the statistical weight drops.
+inline double duration_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("EFD_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
 /// Machine-readable bench results: collects (name, value, unit) metrics and
 /// writes `BENCH_<figure>.json` next to the human-readable table on
-/// destruction, including the run's wall-clock. Downstream tooling diffs
-/// these files across commits to track the perf/shape trajectory.
+/// destruction, including the run's wall-clock and a full `metrics_snapshot`
+/// block from efd::obs (every layer's counters/gauges/histograms, merged
+/// across ParallelRunner workers). Downstream tooling diffs these files
+/// across commits to track the perf/shape trajectory.
 class JsonReporter {
  public:
   explicit JsonReporter(std::string figure)
@@ -54,7 +72,9 @@ class JsonReporter {
                    escaped(m.name).c_str(), m.value, escaped(m.unit).c_str(),
                    i + 1 < metrics_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"metrics_snapshot\": %s\n}\n",
+                 obs::snapshot_json(/*indent=*/2).c_str());
     std::fclose(f);
   }
 

@@ -7,6 +7,7 @@
 
 #include "src/grid/db_units.hpp"
 #include "src/grid/value_noise.hpp"
+#include "src/obs/obs.hpp"
 
 namespace efd::grid {
 
@@ -72,6 +73,7 @@ const PowerGrid::BandProfiles& PowerGrid::ensure_profiles(const CarrierBand& ban
       return p;
     }
   }
+  EFD_COUNTER_INC("grid.profiles.rebuilds");
   BandProfiles p;
   p.band = band;
   const auto n = static_cast<std::size_t>(band.n_carriers);
@@ -181,6 +183,7 @@ std::span<const double> PowerGrid::attenuation_db(int a, int b, const CarrierBan
 
 void PowerGrid::attenuation_db(int a, int b, const CarrierBand& band, sim::Time t,
                                std::vector<double>& out) const {
+  EFD_COUNTER_INC("grid.atten.queries");
   ensure_distances();
   assert(a >= 0 && a < node_count() && b >= 0 && b < node_count());
   const auto n = static_cast<std::size_t>(band.n_carriers);
@@ -254,6 +257,7 @@ std::vector<double> PowerGrid::noise_psd_db(int b, const CarrierBand& band, sim:
 std::span<const double> PowerGrid::noise_psd_db(int b, const CarrierBand& band,
                                                 sim::Time t, int slot, int n_slots,
                                                 CarrierWorkspace& ws) const {
+  EFD_COUNTER_INC("grid.noise.queries");
   ensure_distances();
   assert(b >= 0 && b < node_count());
   assert(slot >= 0 && slot < n_slots);
@@ -343,6 +347,10 @@ std::uint64_t PowerGrid::state_epoch(sim::Time t) const {
     const bool on = appliances_[k].schedule.is_on(t);
     epoch ^= (static_cast<std::uint64_t>(on) << (k % 63)) + k * 0x100000001b3ULL;
     epoch *= 0x100000001b3ULL;
+  }
+  EFD_COUNTER_INC("grid.epoch.recomputes");
+  if (epoch_bucket_ >= 0 && epoch != epoch_value_) {
+    EFD_COUNTER_INC("grid.epoch.advances");
   }
   epoch_bucket_ = bucket;
   epoch_value_ = epoch;

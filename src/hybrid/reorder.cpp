@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/obs.hpp"
+
 namespace efd::hybrid {
 
 ReorderBuffer::ReorderBuffer(sim::Simulator& simulator,
@@ -27,10 +29,13 @@ void ReorderBuffer::on_packet(const net::Packet& p, sim::Time now) {
     return;
   }
   if (p.seq < next_seq_) {
+    EFD_COUNTER_INC("hybrid.reorder.stragglers");
     deliver_(p, now);  // late straggler: release immediately, keep order state
     return;
   }
   buffer_.emplace(p.seq, p);
+  EFD_HISTO_OBSERVE("hybrid.reorder.occupancy", buffer_.size());
+  EFD_GAUGE_SET("hybrid.reorder.buffered", buffer_.size());
   const std::uint32_t before = next_seq_;
   drain();
   if (buffer_.empty()) {
@@ -50,6 +55,7 @@ void ReorderBuffer::on_packet(const net::Packet& p, sim::Time now) {
 void ReorderBuffer::overflow_valve() {
   // A burst of losses must not hold memory hostage.
   if (buffer_.size() <= cfg_.max_buffered) return;
+  EFD_COUNTER_INC("hybrid.reorder.overflows");
   warmup_ = false;
   next_seq_ = buffer_.begin()->first;
   drain();
@@ -60,6 +66,7 @@ void ReorderBuffer::drain() {
   auto it = buffer_.begin();
   while (it != buffer_.end() && it->first == next_seq_) {
     deliver_(it->second, sim_.now());
+    EFD_COUNTER_INC("hybrid.reorder.delivered");
     it = buffer_.erase(it);
     ++next_seq_;
   }
@@ -86,7 +93,10 @@ void ReorderBuffer::on_timeout() {
     return;
   }
   // Warm-up over, or a gap timed out: (re)lock onto the earliest sequence.
-  if (!warmup_) ++timeouts_;
+  if (!warmup_) {
+    ++timeouts_;
+    EFD_COUNTER_INC("hybrid.reorder.timeouts");
+  }
   warmup_ = false;
   next_seq_ = buffer_.begin()->first;
   drain();

@@ -1,0 +1,236 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace efd::obs {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+  const char* env = std::getenv("EFD_OBS");
+  return env == nullptr || std::string_view(env) != "0";
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_enabled()};
+thread_local Shard* t_shard = nullptr;
+
+Shard& make_shard() { return MetricsRegistry::instance().shard(); }
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Shard& MetricsRegistry::shard() {
+  if (detail::t_shard != nullptr) return *detail::t_shard;
+  const std::scoped_lock lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  detail::t_shard = shards_.back().get();
+  return *detail::t_shard;
+}
+
+namespace {
+
+/// Shared registration: the names vector owns the string; the index map
+/// keys view into it (stable — vectors of std::string never relocate the
+/// character data on push_back for existing entries... but the string
+/// objects themselves move, so key views must point at heap buffers; keep
+/// keys viewing the stored std::string's data, which is stable under vector
+/// growth only for non-SSO strings. To be safe regardless of SSO, the map
+/// is rebuilt from the names vector on every insertion.)
+int register_name(std::string_view name, std::vector<std::string>& names,
+                  std::unordered_map<std::string_view, int>& index, int capacity,
+                  const char* kind) {
+  const auto it = index.find(name);
+  if (it != index.end()) return it->second;
+  if (static_cast<int>(names.size()) >= capacity) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "efd::obs: %s capacity (%d) exhausted; '%.*s' dropped\n",
+                   kind, capacity, static_cast<int>(name.size()), name.data());
+    }
+    return -1;
+  }
+  names.emplace_back(name);
+  index.clear();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    index.emplace(names[i], static_cast<int>(i));
+  }
+  return static_cast<int>(names.size()) - 1;
+}
+
+}  // namespace
+
+CounterId MetricsRegistry::counter_id(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  return CounterId{register_name(name, counter_names_, counter_index_,
+                                 kMaxCounters, "counter")};
+}
+
+GaugeId MetricsRegistry::gauge_id(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  return GaugeId{
+      register_name(name, gauge_names_, gauge_index_, kMaxGauges, "gauge")};
+}
+
+HistogramId MetricsRegistry::histogram_id(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  return HistogramId{register_name(name, histogram_names_, histogram_index_,
+                                   kMaxHistograms, "histogram")};
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(counter_names_[i], total);
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    double total = 0.0;
+    for (const auto& s : shards_) {
+      total += s->gauges[i].load(std::memory_order_relaxed);
+    }
+    snap.gauges.emplace_back(gauge_names_[i], total);
+  }
+  snap.histograms.reserve(histogram_names_.size());
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    HistogramData h;
+    for (const auto& s : shards_) {
+      h.count += s->histo_count[i].load(std::memory_order_relaxed);
+      h.sum += s->histo_sum[i].load(std::memory_order_relaxed);
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[static_cast<std::size_t>(b)] +=
+            s->histo_buckets[i][static_cast<std::size_t>(b)].load(
+                std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.emplace_back(histogram_names_[i], h);
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& s : shards_) {
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& g : s->gauges) g.store(0.0, std::memory_order_relaxed);
+    for (auto& c : s->histo_count) c.store(0, std::memory_order_relaxed);
+    for (auto& v : s->histo_sum) v.store(0.0, std::memory_order_relaxed);
+    for (auto& row : s->histo_buckets) {
+      for (auto& b : row) b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramData* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = "{\n";
+  out += pad + "  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += pad + "    \"";
+    append_escaped(out, counters[i].first);
+    out += "\": " + std::to_string(counters[i].second);
+  }
+  out += counters.empty() ? "},\n" : "\n" + pad + "  },\n";
+  out += pad + "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += pad + "    \"";
+    append_escaped(out, gauges[i].first);
+    out += "\": ";
+    append_double(out, gauges[i].second);
+  }
+  out += gauges.empty() ? "},\n" : "\n" + pad + "  },\n";
+  out += pad + "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    const auto& [name, h] = histograms[i];
+    out += pad + "    \"";
+    append_escaped(out, name);
+    out += "\": {\"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    append_double(out, h.sum);
+    // Only non-empty buckets, as {"le_exp": count}: key i means v < 2^i.
+    out += ", \"buckets\": {";
+    bool first = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + std::to_string(b) + "\": " + std::to_string(n);
+    }
+    out += "}}";
+  }
+  out += histograms.empty() ? "}\n" : "\n" + pad + "  }\n";
+  out += pad + "}";
+  return out;
+}
+
+std::string snapshot_json(int indent) {
+  return MetricsRegistry::instance().snapshot().to_json(indent);
+}
+
+}  // namespace efd::obs

@@ -1,0 +1,111 @@
+#include "src/obs/trace.hpp"
+
+#include <functional>
+#include <thread>
+
+namespace efd::obs {
+
+namespace {
+std::uint64_t this_thread_tid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffff;
+}
+}  // namespace
+
+EventTracer& EventTracer::instance() {
+  static EventTracer* tracer = new EventTracer();  // never destroyed
+  return *tracer;
+}
+
+void EventTracer::enable(std::size_t capacity) {
+  const std::scoped_lock lock(mutex_);
+  ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventTracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::int64_t EventTracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void EventTracer::record(const TraceEvent& ev) {
+  const std::scoped_lock lock(mutex_);
+  if (ring_.empty()) return;
+  if (size_ == ring_.size()) ++dropped_;
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+void EventTracer::instant(const char* cat, const char* name) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.ts_ns = now_ns();
+  ev.tid = this_thread_tid();
+  ev.phase = 'i';
+  ev.cat = cat;
+  ev.name = name;
+  record(ev);
+}
+
+void EventTracer::complete(const char* cat, const char* name,
+                           std::int64_t start_ns, std::int64_t end_ns) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.tid = this_thread_tid();
+  ev.phase = 'X';
+  ev.cat = cat;
+  ev.name = name;
+  record(ev);
+}
+
+std::size_t EventTracer::flush_jsonl(std::FILE* out) {
+  const std::scoped_lock lock(mutex_);
+  const std::size_t n = size_;
+  if (n == 0 || out == nullptr) {
+    size_ = 0;
+    return 0;
+  }
+  // Oldest event sits at head_ when the ring has wrapped, else at 0.
+  const std::size_t first = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = ring_[(first + i) % ring_.size()];
+    if (ev.phase == 'X') {
+      std::fprintf(out,
+                   "{\"ts_us\": %.3f, \"dur_us\": %.3f, \"tid\": %llu, "
+                   "\"ph\": \"X\", \"cat\": \"%s\", \"name\": \"%s\"}\n",
+                   static_cast<double>(ev.ts_ns) / 1e3,
+                   static_cast<double>(ev.dur_ns) / 1e3,
+                   static_cast<unsigned long long>(ev.tid), ev.cat, ev.name);
+    } else {
+      std::fprintf(out,
+                   "{\"ts_us\": %.3f, \"tid\": %llu, \"ph\": \"i\", "
+                   "\"cat\": \"%s\", \"name\": \"%s\"}\n",
+                   static_cast<double>(ev.ts_ns) / 1e3,
+                   static_cast<unsigned long long>(ev.tid), ev.cat, ev.name);
+    }
+  }
+  head_ = 0;
+  size_ = 0;
+  return n;
+}
+
+std::uint64_t EventTracer::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+std::size_t EventTracer::buffered() const {
+  const std::scoped_lock lock(mutex_);
+  return size_;
+}
+
+}  // namespace efd::obs

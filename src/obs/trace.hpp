@@ -1,0 +1,110 @@
+#pragma once
+
+// efd::obs — structured event tracing (DESIGN.md §8).
+//
+// A process-wide EventTracer recording instant events and RAII-scoped spans
+// into a bounded ring buffer (oldest entries overwritten), flushed on demand
+// as JSONL — one JSON object per line, Chrome-trace-style fields, so the
+// output loads into trace viewers and greps cleanly. Disabled by default;
+// when disabled, recording is one relaxed atomic load + branch.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#ifndef EFD_OBS_ENABLED
+#define EFD_OBS_ENABLED 1
+#endif
+
+namespace efd::obs {
+
+/// `cat`/`name` must be string literals (or otherwise outlive the tracer):
+/// the ring stores pointers, never copies.
+struct TraceEvent {
+  std::int64_t ts_ns = 0;   ///< wall clock, relative to enable()
+  std::int64_t dur_ns = -1; ///< span duration; -1 for instant events
+  std::uint64_t tid = 0;    ///< hashed thread id
+  char phase = 'i';         ///< 'X' complete span, 'i' instant
+  const char* cat = "";
+  const char* name = "";
+};
+
+class EventTracer {
+ public:
+  static EventTracer& instance();
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  /// Start capturing into a fresh ring of `capacity` events.
+  void enable(std::size_t capacity = 1 << 14);
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since enable() on the tracer's steady clock.
+  [[nodiscard]] std::int64_t now_ns() const;
+
+  void instant(const char* cat, const char* name);
+  void complete(const char* cat, const char* name, std::int64_t start_ns,
+                std::int64_t end_ns);
+
+  /// Write buffered events, oldest first, one JSON object per line; drains
+  /// the ring. Returns the number of events written.
+  std::size_t flush_jsonl(std::FILE* out);
+
+  /// Events overwritten (ring full) since enable().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Buffered (unflushed) event count.
+  [[nodiscard]] std::size_t buffered() const;
+
+ private:
+  EventTracer() = default;
+  void record(const TraceEvent& ev);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t size_ = 0;  ///< valid events in the ring
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// RAII span: captures the start time at construction and records one
+/// complete ('X') event at destruction. Snapshotting enabled-ness at
+/// construction keeps begin/end pairing consistent across a mid-span
+/// enable()/disable().
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name) {
+    EventTracer& tracer = EventTracer::instance();
+    if (tracer.enabled()) {
+      cat_ = cat;
+      name_ = name;
+      start_ns_ = tracer.now_ns();
+      active_ = true;
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      EventTracer& tracer = EventTracer::instance();
+      tracer.complete(cat_, name_, start_ns_, tracer.now_ns());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* cat_ = "";
+  const char* name_ = "";
+  std::int64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace efd::obs

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/obs.hpp"
+
 namespace efd::plc {
 
 namespace {
@@ -39,13 +41,18 @@ PlcChannel::SnrEntry& PlcChannel::entry(net::StationId a, net::StationId b, int 
     // Appliance state moved: every cached vector and memo is stale. Evict
     // wholesale so entries for links that are never queried again cannot
     // accumulate across epochs.
+    EFD_COUNTER_INC("plc.channel.cache_evictions");
     cache_.clear();
     atten_cache_.clear();
     cache_epoch_ = epoch;
     cache_epoch_valid_ = true;
   }
   SnrEntry& e = cache_[link_key(a, b, slot)];
-  if (e.epoch == epoch && !e.snr_db.empty()) return e;
+  if (e.epoch == epoch && !e.snr_db.empty()) {
+    EFD_COUNTER_INC("plc.channel.snr_cache_hits");
+    return e;
+  }
+  EFD_COUNTER_INC("plc.channel.snr_cache_misses");
 
   const int oa = outlet(a);
   const int ob = outlet(b);
@@ -105,7 +112,11 @@ double PlcChannel::pb_error_probability(const ToneMap& tm, net::StationId a,
       (static_cast<std::uint64_t>(tm.id()) << 20) ^
       static_cast<std::uint64_t>(static_cast<std::uint32_t>(bucket + 512));
   const auto it = e.pberr.find(key);
-  if (it != e.pberr.end()) return it->second;
+  if (it != e.pberr.end()) {
+    EFD_COUNTER_INC("plc.channel.pberr_memo_hits");
+    return it->second;
+  }
+  EFD_COUNTER_INC("plc.channel.pberr_memo_misses");
 
   // Shift into per-thread scratch instead of copying the 917-entry vector.
   grid::CarrierWorkspace& ws = scratch();

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "src/obs/obs.hpp"
+
 namespace efd::plc {
 
 ChannelEstimator::ChannelEstimator(const PlcChannel& channel, net::StationId tx,
@@ -139,11 +141,14 @@ void ChannelEstimator::retune(sim::Time now, bool error_triggered) {
   created_ = now;
   last_update_ = now;
   ++update_count_;
+  EFD_COUNTER_INC("plc.est.tonemap_updates");
+  if (error_triggered) EFD_COUNTER_INC("plc.est.error_retunes");
   // Errors that triggered this retune are presumed handled.
   if (error_triggered) pberr_ewma_ *= 0.25;
 }
 
 void ChannelEstimator::on_sound_frame(sim::Time now) {
+  EFD_COUNTER_INC("plc.est.sound_frames");
   // A handful of sound PBs seed the statistics.
   pb_samples_ += 3;
   if (!has_maps_) retune(now, /*error_triggered=*/false);
@@ -153,6 +158,8 @@ void ChannelEstimator::on_frame_received(int slot, int n_pbs, int n_errors,
                                          int n_symbols, sim::Time now) {
   (void)slot;
   assert(n_pbs >= 0 && n_errors >= 0 && n_errors <= n_pbs);
+  EFD_COUNTER_ADD("plc.est.pbs_rx", n_pbs);
+  EFD_COUNTER_ADD("plc.est.pb_errors", n_errors);
   pb_samples_ += static_cast<std::uint64_t>(n_pbs);
   if (n_pbs > 0) {
     const double frame_err =

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/obs.hpp"
 #include "src/plc/medium.hpp"
 
 namespace efd::plc {
@@ -27,12 +28,29 @@ PlcMac::PlcMac(sim::Simulator& simulator, PlcMedium& medium, const PlcChannel& c
       rng_(rng),
       cfg_(config) {
   dc_ = cfg_.dc[0];
+  // Register the MAC's metric names up front: contention-dependent counters
+  // (deferrals, collisions) then show up in snapshots as explicit zeros for
+  // uncontended runs instead of being absent.
+  static const bool obs_names_registered = [] {
+    auto& reg = obs::MetricsRegistry::instance();
+    for (const char* name :
+         {"plc.mac.drops", "plc.mac.backoff_redraws", "plc.mac.csma_deferrals",
+          "plc.mac.frames_tx", "plc.mac.pbs_tx", "plc.mac.sacks_rx",
+          "plc.mac.pb_errors", "plc.mac.pb_retx", "plc.mac.collisions",
+          "plc.mac.packets_delivered"}) {
+      (void)reg.counter_id(name);
+    }
+    (void)reg.histogram_id("plc.mac.frame_pbs");
+    return true;
+  }();
+  (void)obs_names_registered;
 }
 
 bool PlcMac::enqueue(const net::Packet& p) {
   const int n = pbs_for(p.size_bytes);
   if (queued_pbs_ + static_cast<std::size_t>(n) > cfg_.queue_limit_pbs) {
     ++drops_;
+    EFD_COUNTER_INC("plc.mac.drops");
     return false;
   }
   auto shared = std::make_shared<const net::Packet>(p);
@@ -51,6 +69,7 @@ std::size_t PlcMac::queue_length() const {
 }
 
 void PlcMac::redraw_backoff() {
+  EFD_COUNTER_INC("plc.mac.backoff_redraws");
   backoff_ = static_cast<int>(
       rng_.uniform_int(0, cfg_.cw[static_cast<std::size_t>(stage_)] - 1));
   dc_ = cfg_.dc[static_cast<std::size_t>(stage_)];
@@ -73,6 +92,7 @@ void PlcMac::on_medium_busy(int slots_elapsed) {
   // IEEE 1901 deferral counter: sensing the medium busy with an exhausted
   // deferral counter escalates the backoff stage without any collision.
   if (dc_ == 0) {
+    EFD_COUNTER_INC("plc.mac.csma_deferrals");
     enter_next_stage();
   } else {
     --dc_;
@@ -134,10 +154,15 @@ PlcFrame PlcMac::build_frame(sim::Time now) {
       1, static_cast<int>(std::ceil(n_pbs * PhyParams::pb_bits() / bits_per_symbol)));
   frame.end = now + phy.delimiter + frame.n_symbols * phy.symbol;
   ++frames_tx_;
+  EFD_COUNTER_INC("plc.mac.frames_tx");
+  EFD_COUNTER_ADD("plc.mac.pbs_tx", n_pbs);
+  EFD_HISTO_OBSERVE("plc.mac.frame_pbs", n_pbs);
   return frame;
 }
 
 void PlcMac::on_sack(const PlcFrame& frame, const std::vector<int>& errored_pbs) {
+  EFD_COUNTER_INC("plc.mac.sacks_rx");
+  EFD_COUNTER_ADD("plc.mac.pb_errors", errored_pbs.size());
   stage_ = 0;
   backoff_ = -1;
   dc_ = cfg_.dc[0];
@@ -148,6 +173,7 @@ void PlcMac::on_sack(const PlcFrame& frame, const std::vector<int>& errored_pbs)
     if (pb.retries >= cfg_.max_pb_retries) continue;
     ++pb.retries;
     ++pb_retx_;
+    EFD_COUNTER_INC("plc.mac.pb_retx");
     pb_queue_.push_front(pb);
     ++queued_pbs_;
   }
@@ -164,6 +190,7 @@ void PlcMac::on_no_sack(const PlcFrame& frame) {
     return;
   }
   // Collision inferred: whole frame returns to the queue, stage escalates.
+  EFD_COUNTER_INC("plc.mac.collisions");
   for (auto it = frame.pbs.rbegin(); it != frame.pbs.rend(); ++it) {
     PbUnit pb = *it;
     if (pb.retries >= cfg_.max_pb_retries) continue;
@@ -204,6 +231,7 @@ void PlcMac::on_frame_received(const PlcFrame& frame,
     const int have = std::popcount(r.received_mask);
     if (have == r.total) {
       ++delivered_;
+      EFD_COUNTER_INC("plc.mac.packets_delivered");
       if (rx_) rx_(*r.packet, now);
       reassembly_.erase(pb.packet->id);
     }

@@ -3,10 +3,13 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/obs.hpp"
+
 namespace efd::sim {
 
 EventHandle Simulator::at(Time t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule into the past");
+  EFD_COUNTER_INC("sim.events_scheduled");
   Event ev{t, seq_++, std::move(fn), std::make_shared<bool>(false),
            std::make_shared<bool>(false)};
   EventHandle h;
@@ -17,26 +20,36 @@ EventHandle Simulator::at(Time t, std::function<void()> fn) {
 }
 
 void Simulator::run_until(Time end) {
+  EFD_GAUGE_SET("sim.queue_depth", queue_.size());
   while (!queue_.empty() && queue_.top().t <= end) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.t;
-    if (*ev.cancelled) continue;
+    if (*ev.cancelled) {
+      EFD_COUNTER_INC("sim.events_cancelled");
+      continue;
+    }
     *ev.fired = true;
     ++dispatched_;
+    EFD_COUNTER_INC("sim.events_dispatched");
     ev.fn();
   }
   if (now_ < end) now_ = end;
 }
 
 void Simulator::run() {
+  EFD_GAUGE_SET("sim.queue_depth", queue_.size());
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.t;
-    if (*ev.cancelled) continue;
+    if (*ev.cancelled) {
+      EFD_COUNTER_INC("sim.events_cancelled");
+      continue;
+    }
     *ev.fired = true;
     ++dispatched_;
+    EFD_COUNTER_INC("sim.events_dispatched");
     ev.fn();
   }
 }

@@ -1,5 +1,9 @@
 #include "src/testbed/experiment.hpp"
 
+#include <chrono>
+
+#include "src/obs/obs.hpp"
+
 namespace efd::testbed {
 
 sim::Time weekday_afternoon() { return sim::days(1) + sim::hours(14); }
@@ -11,6 +15,8 @@ namespace {
 ThroughputResult measure(net::Interface& tx, net::Interface& rx,
                          sim::Simulator& sim, net::StationId src,
                          net::StationId dst, sim::Time duration) {
+  EFD_TRACE_SPAN("testbed", "measure_throughput");
+  const auto wall_start = std::chrono::steady_clock::now();
   net::ThroughputMeter meter;
   rx.set_rx_handler(
       [&meter](const net::Packet& p, sim::Time t) { meter.on_packet(p, t); });
@@ -31,6 +37,16 @@ ThroughputResult measure(net::Interface& tx, net::Interface& rx,
   rx.set_rx_handler([](const net::Packet&, sim::Time) {});
   tx.clear_queue();
   sim.run_until(sim.now() + sim::milliseconds(100));
+
+  // Wall-clock per simulated second: the hot-path health number every
+  // scaling PR watches (lower is faster; ratio < 1 means faster than
+  // real time).
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  if (duration.seconds() > 0.0) {
+    EFD_GAUGE_SET("sim.wall_sim_ratio", wall_s / duration.seconds());
+  }
 
   ThroughputResult result;
   const auto stats = meter.stats();

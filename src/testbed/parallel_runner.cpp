@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/obs.hpp"
+
 namespace efd::testbed {
 
 ParallelRunner::ParallelRunner(int n_threads) : n_threads_(n_threads) {
@@ -18,9 +20,15 @@ ParallelRunner::ParallelRunner(int n_threads) : n_threads_(n_threads) {
 void ParallelRunner::run(int n_tasks, const std::function<void(int)>& fn) const {
   if (n_tasks <= 0) return;
   const int workers = std::min(n_threads_, n_tasks);
+  EFD_GAUGE_SET("testbed.workers", workers);
+  EFD_TRACE_SPAN("testbed", "parallel_run");
   if (workers <= 1) {
     // Serial fast path: same claim order, no thread machinery.
-    for (int i = 0; i < n_tasks; ++i) fn(i);
+    for (int i = 0; i < n_tasks; ++i) {
+      EFD_TRACE_SPAN("testbed", "task");
+      fn(i);
+      EFD_COUNTER_INC("testbed.tasks_run");
+    }
     return;
   }
   std::atomic<int> next{0};
@@ -35,7 +43,9 @@ void ParallelRunner::run(int n_tasks, const std::function<void(int)>& fn) const 
           const int i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n_tasks) return;
           try {
+            EFD_TRACE_SPAN("testbed", "task");
             fn(i);
+            EFD_COUNTER_INC("testbed.tasks_run");
           } catch (...) {
             const std::scoped_lock lock(error_mutex);
             if (!first_error) first_error = std::current_exception();

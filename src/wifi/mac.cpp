@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/obs.hpp"
+
 namespace efd::wifi {
 
 // --------------------------------------------------------------------------
@@ -64,7 +66,10 @@ void WifiMedium::resolve_contention() {
 void WifiMedium::finish_round(std::vector<WifiFrame> frames,
                               std::vector<WifiMac*> senders) {
   const bool collision = frames.size() > 1;
-  if (collision) ++collisions_;
+  if (collision) {
+    ++collisions_;
+    EFD_COUNTER_INC("wifi.medium.collisions");
+  }
 
   sim::Time payload_end = frames[0].end;
   for (const WifiFrame& f : frames) payload_end = std::max(payload_end, f.end);
@@ -179,6 +184,8 @@ WifiFrame WifiMac::build_frame(sim::Time now) {
   int mcs = Mcs::pick(est_snr - cfg_.margin_db);
   if (mcs < 0) mcs = 0;  // no sustainable MCS: transmit robust and fail
   f.mcs = mcs;
+  EFD_COUNTER_INC("wifi.mac.mcs_selections");
+  EFD_HISTO_OBSERVE("wifi.mac.mcs_index", mcs);
 
   const double rate_mbps = Mcs::rate_mbps(mcs);
   sim::Time airtime = cfg_.preamble;
@@ -194,18 +201,23 @@ WifiFrame WifiMac::build_frame(sim::Time now) {
     retry_counts_.pop_front();
   }
   f.end = now + airtime;
+  EFD_COUNTER_INC("wifi.mac.frames_tx");
+  EFD_HISTO_OBSERVE("wifi.mac.ampdu_mpdus", f.mpdus.size());
   return f;
 }
 
 void WifiMac::on_block_ack(const WifiFrame& frame, const std::vector<int>& failed) {
   cw_ = cfg_.cw_min;
   backoff_ = -1;
+  EFD_COUNTER_ADD("wifi.mac.mpdu_errors", failed.size());
   for (auto it = failed.rbegin(); it != failed.rend(); ++it) {
     const auto i = static_cast<std::size_t>(*it);
     if (frame.retries[i] >= cfg_.max_retries) {
       ++drops_;
+      EFD_COUNTER_INC("wifi.mac.drops");
       continue;
     }
+    EFD_COUNTER_INC("wifi.mac.retries");
     queue_.push_front(frame.mpdus[i]);
     retry_counts_.push_front(frame.retries[i] + 1);
   }
@@ -213,12 +225,15 @@ void WifiMac::on_block_ack(const WifiFrame& frame, const std::vector<int>& faile
 }
 
 void WifiMac::on_no_ack(const WifiFrame& frame) {
+  EFD_COUNTER_INC("wifi.mac.no_acks");
   cw_ = std::min(cw_ * 2, cfg_.cw_max);
   for (auto i = frame.mpdus.size(); i-- > 0;) {
     if (frame.retries[i] >= cfg_.max_retries) {
       ++drops_;
+      EFD_COUNTER_INC("wifi.mac.drops");
       continue;
     }
+    EFD_COUNTER_INC("wifi.mac.retries");
     queue_.push_front(frame.mpdus[i]);
     retry_counts_.push_front(frame.retries[i] + 1);
   }
@@ -233,6 +248,7 @@ void WifiMac::on_frame_received(const WifiFrame& frame, const std::vector<int>& 
   for (std::size_t i = 0; i < frame.mpdus.size(); ++i) {
     if (bad[i]) continue;
     ++delivered_;
+    EFD_COUNTER_INC("wifi.mac.packets_delivered");
     if (rx_) rx_(frame.mpdus[i], now);
   }
 }

@@ -10,10 +10,16 @@
 //   efd sniff <src> <dst> <seconds>   SoF capture under saturation, CSV
 //   efd route <src> <dst>             min-ETT hybrid route
 //   efd guidelines                    the paper's Table 3
+//
+// A leading --metrics flag dumps the efd::obs metrics snapshot (counters,
+// gauges, histograms accumulated by the command's simulation) as JSON to
+// stderr after the command output, so CSV/stdout pipelines stay clean:
+//   efd --metrics stat 0 5 2>metrics.json
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/core/capacity.hpp"
 #include "src/core/etx.hpp"
@@ -22,6 +28,7 @@
 #include "src/core/sof_capture.hpp"
 #include "src/core/trace_io.hpp"
 #include "src/hybrid/routing.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/testbed/experiment.hpp"
 
 using namespace efd;
@@ -30,9 +37,10 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: efd <survey [--night] | rate S D | stat S D | "
+               "usage: efd [--metrics] <survey [--night] | rate S D | stat S D | "
                "trace S D SECS | sniff S D SECS | route S D | guidelines>\n"
-               "stations: 0-18 (0-11 on network B1, 12-18 on B2)\n");
+               "stations: 0-18 (0-11 on network B1, 12-18 on B2)\n"
+               "--metrics: dump the efd::obs snapshot as JSON to stderr\n");
   return 2;
 }
 
@@ -177,9 +185,7 @@ int cmd_guidelines() {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const auto station_args = [&](int needed) {
@@ -206,4 +212,24 @@ int main(int argc, char** argv) {
     return cmd == "trace" ? cmd_trace(a, b, seconds) : cmd_sniff(a, b, seconds);
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dump_metrics = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const int rc = dispatch(static_cast<int>(args.size()), args.data());
+  if (dump_metrics) {
+    std::fprintf(stderr, "%s\n", obs::snapshot_json().c_str());
+  }
+  return rc;
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Format (or, with --check, lint) every tracked C++ file with clang-format
+# using the repo's .clang-format. CI's lint job runs `format.sh --check`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "error: clang-format not found on PATH" >&2
+  exit 1
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "no C++ files tracked" >&2
+  exit 0
+fi
+
+if [ "${1:-}" = "--check" ]; then
+  clang-format --dry-run -Werror "${files[@]}"
+  echo "clang-format: ${#files[@]} files clean"
+else
+  clang-format -i "${files[@]}"
+  echo "clang-format: formatted ${#files[@]} files"
+fi
