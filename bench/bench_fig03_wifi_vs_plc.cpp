@@ -61,9 +61,9 @@ int main() {
     std::printf("sweep: per-pair testbeds on %d worker(s)\n", threads);
     const auto pairs = tb.all_pairs();
     const testbed::ParallelRunner pool(threads);
-    results = pool.map<PairResult>(
-        static_cast<int>(pairs.size()), [&pairs, &cfg](int i) {
-          sim::Simulator task_sim;
+    results = pool.map_with_sim<PairResult>(
+        static_cast<int>(pairs.size()),
+        [&pairs, &cfg](int i, sim::Simulator& task_sim) {
           testbed::Testbed task_tb(task_sim, cfg);
           task_sim.run_until(testbed::weekday_afternoon());
           return measure_pair(task_tb, pairs[static_cast<std::size_t>(i)].first,

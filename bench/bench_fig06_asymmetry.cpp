@@ -58,9 +58,9 @@ int main() {
   } else {
     std::printf("sweep: per-pair testbeds on %d worker(s)\n", threads);
     const testbed::ParallelRunner pool(threads);
-    measured = pool.map<PairResult>(
-        static_cast<int>(links.size()), [&links, &cfg](int i) {
-          sim::Simulator task_sim;
+    measured = pool.map_with_sim<PairResult>(
+        static_cast<int>(links.size()),
+        [&links, &cfg](int i, sim::Simulator& task_sim) {
           testbed::Testbed task_tb(task_sim, cfg);
           task_sim.run_until(testbed::weekday_afternoon());
           return measure_pair(task_tb, links[static_cast<std::size_t>(i)].first,

@@ -55,13 +55,13 @@ int main() {
     std::printf("sweep: per-link testbeds on %d worker(s)\n", threads);
     const auto links = tb.plc_links();
     const testbed::ParallelRunner pool(threads);
-    rows = pool.map<Row>(static_cast<int>(links.size()), [&links](int i) {
-      sim::Simulator task_sim;
-      testbed::Testbed task_tb(task_sim);  // both generations
-      task_sim.run_until(testbed::weekday_afternoon());
-      return measure_link(task_tb, links[static_cast<std::size_t>(i)].first,
-                          links[static_cast<std::size_t>(i)].second);
-    });
+    rows = pool.map_with_sim<Row>(
+        static_cast<int>(links.size()), [&links](int i, sim::Simulator& task_sim) {
+          testbed::Testbed task_tb(task_sim);  // both generations
+          task_sim.run_until(testbed::weekday_afternoon());
+          return measure_link(task_tb, links[static_cast<std::size_t>(i)].first,
+                              links[static_cast<std::size_t>(i)].second);
+        });
   }
 
   bench::section("throughput vs cable distance (bucket means and ranges)");

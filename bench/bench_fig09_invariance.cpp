@@ -105,9 +105,9 @@ int main() {
   } else {
     std::printf("sweep: per-link testbeds on %d worker(s)\n", threads);
     const testbed::ParallelRunner pool(threads);
-    captures = pool.map<CaptureResult>(
-        static_cast<int>(std::size(links)), [&links, &cfg](int i) {
-          sim::Simulator task_sim;
+    captures = pool.map_with_sim<CaptureResult>(
+        static_cast<int>(std::size(links)),
+        [&links, &cfg](int i, sim::Simulator& task_sim) {
           testbed::Testbed task_tb(task_sim, cfg);
           task_sim.run_until(testbed::weekday_afternoon());
           const Link& l = links[static_cast<std::size_t>(i)];

@@ -10,6 +10,7 @@ int main() {
   bench::header("Fig. 16", "capacity-estimation convergence vs probe rate",
                 "all rates converge to the same capacity; 200 pkt/s converges "
                 "within minutes while 1 pkt/s needs thousands of seconds");
+  bench::JsonReporter json("fig16");
 
   sim::Simulator sim;
   testbed::Testbed::Config cfg;
@@ -67,6 +68,9 @@ int main() {
         }
       }
       std::printf("   %8.0f s\n", converge_at);
+      json.add("converge_s_" + std::to_string(pick.a) + "_" +
+                   std::to_string(pick.b) + "_" + std::to_string(static_cast<int>(rate)),
+               converge_at, "s");
     }
   }
   std::printf("\n(the convergence time falls with probe rate because per-"

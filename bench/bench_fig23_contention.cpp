@@ -67,6 +67,7 @@ int main() {
                 "BLE is insensitive to low-rate background traffic everywhere; "
                 "saturated background collapses BLE (and explodes PBerr) on "
                 "capture-prone pairs only");
+  bench::JsonReporter json("fig23");
 
   sim::Simulator sim;
   testbed::Testbed::Config cfg;
@@ -108,6 +109,9 @@ int main() {
     report("150 kb/s background:", b1, d1);
     const auto [b2, d2] = run_pair(tb, sa, sb, sc, sd, 400e6, 1);
     report("saturated background:", b2, d2);
+    json.add("sensitive_ble_before", b2.ble.mean(), "Mb/s");
+    json.add("sensitive_ble_during", d2.ble.mean(), "Mb/s");
+    json.add("sensitive_pberr_during", d2.pberr.mean(), "ratio");
   }
 
   bench::section("insensitive pair (paper: 0-11 with 1-6 background)");
@@ -116,6 +120,9 @@ int main() {
     report("150 kb/s background:", b1, d1);
     const auto [b2, d2] = run_pair(tb, ia, ib, ic, id, 400e6, 1);
     report("saturated background:", b2, d2);
+    json.add("insensitive_ble_before", b2.ble.mean(), "Mb/s");
+    json.add("insensitive_ble_during", d2.ble.mean(), "Mb/s");
+    json.add("insensitive_pberr_during", d2.pberr.mean(), "ratio");
   }
   std::printf("\n(the sensitive receiver captures colliding frames and decodes "
               "them with errored PBs; the estimator cannot distinguish those "

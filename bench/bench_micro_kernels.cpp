@@ -3,6 +3,12 @@
 // the channel cache, the tone-map builder, or the event queue.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
 #include "src/grid/appliance.hpp"
 #include "src/grid/carrier_workspace.hpp"
 #include "src/obs/obs.hpp"
@@ -47,6 +53,133 @@ void BM_EventQueueSchedule(benchmark::State& state) {
   sim.run();
 }
 BENCHMARK(BM_EventQueueSchedule);
+
+// --- event engine vs the pre-slab baseline (DESIGN.md §9) ------------------
+// `engine_baseline` replicates the engine this repo shipped before the
+// slab/4-ary-heap rewrite — std::priority_queue sifting fat events, each
+// carrying a type-erased std::function plus two shared_ptr<bool> control
+// blocks (three heap allocations per event). The BM_EventEngine* pairs run
+// the same workload on both so the schedule+dispatch speedup is measured
+// in-binary, not across commits.
+
+namespace engine_baseline {
+
+class OldSimulator {
+ public:
+  void at(sim::Time t, std::function<void()> fn) {
+    EFD_COUNTER_INC("sim.events_scheduled");
+    queue_.push(Event{t, seq_++, std::move(fn),
+                      std::make_shared<bool>(false),
+                      std::make_shared<bool>(false)});
+  }
+
+  void run_until(sim::Time end) {
+    EFD_GAUGE_SET("sim.queue_depth", queue_.size());
+    while (!queue_.empty() && queue_.top().t <= end) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.t;
+      if (*ev.cancelled) continue;
+      *ev.fired = true;
+      EFD_COUNTER_INC("sim.events_dispatched");
+      ev.fn();
+    }
+    if (now_ < end) now_ = end;
+  }
+
+  void run() { run_until(sim::Time{std::numeric_limits<std::int64_t>::max()}); }
+
+ private:
+  struct Event {
+    sim::Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<bool> fired;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  sim::Time now_{};
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace engine_baseline
+
+void BM_EventEngineBaselineScheduleDispatch(benchmark::State& state) {
+  engine_baseline::OldSimulator sim;
+  std::int64_t t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim.at(sim::Time{t += 10}, [&sink] { ++sink; });
+    if (t % 1024 == 0) sim.run_until(sim::Time{t});
+  }
+  sim.run();
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventEngineBaselineScheduleDispatch);
+
+void BM_EventEngineScheduleDispatch(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim.at_inline(sim::Time{t += 10}, [&sink] { ++sink; });
+    if (t % 1024 == 0) sim.run_until(sim::Time{t});
+  }
+  sim.run();
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventEngineScheduleDispatch);
+
+void BM_EventEngineScheduleCancelDrain(benchmark::State& state) {
+  // Tombstone path: every event is cancelled after scheduling, the dispatch
+  // loop only reaps tombstones.
+  sim::Simulator sim;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sim::EventHandle h = sim.at_inline(sim::Time{t += 10}, [] {});
+    h.cancel();
+    if (t % 1024 == 0) sim.run_until(sim::Time{t});
+  }
+  sim.run();
+}
+BENCHMARK(BM_EventEngineScheduleCancelDrain);
+
+void BM_EventEngineTimerChurn(benchmark::State& state) {
+  // MAC-retry shape: 64 self-rescheduling timers with staggered periods, the
+  // steady-state pattern of PlcMedium/WifiMedium contention rounds.
+  sim::Simulator sim;
+  struct Timer {
+    sim::Simulator* sim;
+    sim::Time period;
+    std::uint64_t fires = 0;
+    void arm() {
+      sim->after_inline(period, [this] {
+        ++fires;
+        arm();
+      });
+    }
+  };
+  std::vector<Timer> timers;
+  timers.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    timers.push_back(Timer{&sim, sim::nanoseconds(900 + 7 * i)});
+    timers.back().arm();
+  }
+  std::int64_t end = 0;
+  for (auto _ : state) {
+    sim.run_until(sim::Time{end += 1000});
+  }
+  std::uint64_t total = 0;
+  for (const Timer& timer : timers) total += timer.fires;
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_EventEngineTimerChurn);
 
 void BM_GridAttenuation(benchmark::State& state) {
   Rig rig;

@@ -60,6 +60,15 @@ class JsonReporter {
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
             .count();
+    // Event-engine throughput, the headline the perf CI gate tracks: total
+    // dispatched events (merged across ParallelRunner workers) over the
+    // bench's wall clock. Zero when efd::obs is runtime-disabled.
+    const auto snap = obs::MetricsRegistry::instance().snapshot();
+    const auto events =
+        static_cast<double>(snap.counter("sim.events_dispatched"));
+    metrics_.push_back({"sim_events_dispatched", "events", events});
+    metrics_.push_back(
+        {"sim_events_per_sec", "events/s", wall_s > 0.0 ? events / wall_s : 0.0});
     const std::string path = "BENCH_" + figure_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;

@@ -20,7 +20,7 @@ void PlcMedium::enable_beacons(sim::Time period, sim::Time duration) {
   beacons_enabled_ = true;
   beacon_period_ = period;
   beacon_duration_ = duration;
-  sim_.after(period, [this] { beacon_tick(); });
+  sim_.after_inline(period, [this] { beacon_tick(); });
 }
 
 void PlcMedium::beacon_tick() {
@@ -32,7 +32,7 @@ void PlcMedium::beacon_tick() {
     pending_beacon_hold_ += beacon_duration_;
   } else {
     busy_ = true;
-    sim_.after(beacon_duration_, [this] {
+    sim_.after_inline(beacon_duration_, [this] {
       busy_ = false;
       for (PlcMac* m : macs_) {
         if (m->has_pending()) {
@@ -42,18 +42,35 @@ void PlcMedium::beacon_tick() {
       }
     });
   }
-  sim_.after(beacon_period_, [this] { beacon_tick(); });
+  sim_.after_inline(beacon_period_, [this] { beacon_tick(); });
 }
 
 PlcMedium::SnifferId PlcMedium::add_sniffer(
     std::function<void(const SofRecord&)> sniffer) {
-  const SnifferId id = next_sniffer_id_++;
-  sniffers_.emplace_back(id, std::move(sniffer));
-  return id;
+  assert(sniffer && "sniffer callback must be callable");
+  std::uint32_t slot;
+  if (sniffer_free_.empty()) {
+    slot = static_cast<std::uint32_t>(sniffers_.size());
+    sniffers_.emplace_back();
+  } else {
+    slot = sniffer_free_.back();
+    sniffer_free_.pop_back();
+  }
+  sniffers_[slot].fn = std::move(sniffer);
+  ++sniffer_count_;
+  return (static_cast<SnifferId>(sniffers_[slot].gen) << 32) | slot;
 }
 
 void PlcMedium::remove_sniffer(SnifferId id) {
-  std::erase_if(sniffers_, [id](const auto& entry) { return entry.first == id; });
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= sniffers_.size()) return;
+  SnifferSlot& s = sniffers_[slot];
+  if (s.gen != gen || !s.fn) return;  // stale or already-removed id
+  s.fn = nullptr;
+  ++s.gen;
+  sniffer_free_.push_back(slot);
+  --sniffer_count_;
 }
 
 void PlcMedium::notify_ready(PlcMac&) {
@@ -64,11 +81,11 @@ void PlcMedium::schedule_contention() {
   contention_scheduled_ = true;
   const sim::Time delay = kCifs + pending_beacon_hold_;
   pending_beacon_hold_ = sim::Time{};
-  sim_.after(delay, [this] { resolve_contention(); });
+  sim_.after_inline(delay, [this] { resolve_contention(); });
 }
 
 void PlcMedium::emit_sof(const PlcFrame& f) const {
-  if (sniffers_.empty()) return;
+  if (sniffer_count_ == 0) return;
   const SofRecord rec{f.start,
                       f.end,
                       f.src,
@@ -80,7 +97,9 @@ void PlcMedium::emit_sof(const PlcFrame& f) const {
                       f.robo,
                       f.sound,
                       f.dst == net::kBroadcast};
-  for (const auto& [id, fn] : sniffers_) fn(rec);
+  for (const SnifferSlot& s : sniffers_) {
+    if (s.fn) s.fn(rec);
+  }
 }
 
 void PlcMedium::resolve_contention() {
@@ -122,7 +141,7 @@ void PlcMedium::resolve_contention() {
 
   busy_ = true;
   const sim::Time tx_start = sim_.now() + kPrs + (min_backoff + 1) * kSlot;
-  sim_.at(tx_start, [this, winners] {
+  sim_.at_inline(tx_start, [this, winners] {
     std::vector<PlcFrame> frames;
     frames.reserve(winners.size());
     for (PlcMac* m : winners) frames.push_back(m->build_frame(sim_.now()));
@@ -234,7 +253,7 @@ void PlcMedium::finish_round(std::vector<PlcFrame> frames,
 
   // Medium idles after the longest payload plus the SACK exchange.
   const sim::Time idle_at = payload_end + kRifs + channel_.phy().delimiter;
-  sim_.at(idle_at, [this] {
+  sim_.at_inline(idle_at, [this] {
     busy_ = false;
     for (PlcMac* m : macs_) {
       if (m->has_pending()) {

@@ -51,7 +51,10 @@ class PlcMedium {
 
   /// Subscribe a sniffer callback, invoked for every decodable SoF.
   /// Returns a token for `remove_sniffer` — a subscriber whose lifetime is
-  /// shorter than the medium's MUST unregister before it dies.
+  /// shorter than the medium's MUST unregister before it dies. The token is
+  /// a {generation, slot} pair (same scheme as sim::EventHandle): removal is
+  /// O(1), slots are recycled, and a stale id can never unregister a later
+  /// subscriber that reused its slot.
   using SnifferId = std::uint64_t;
   SnifferId add_sniffer(std::function<void(const SofRecord&)> sniffer);
   void remove_sniffer(SnifferId id);
@@ -71,12 +74,20 @@ class PlcMedium {
   void emit_sof(const PlcFrame& frame) const;
   void beacon_tick();
 
+  /// Sniffer slot map entry: `fn` empty means the slot is free and its index
+  /// is on `sniffer_free_`; `gen` advances on every removal.
+  struct SnifferSlot {
+    std::function<void(const SofRecord&)> fn;
+    std::uint32_t gen = 0;
+  };
+
   sim::Simulator& sim_;
   const PlcChannel& channel_;
   mutable sim::Rng rng_;
   std::vector<PlcMac*> macs_;
-  std::vector<std::pair<SnifferId, std::function<void(const SofRecord&)>>> sniffers_;
-  SnifferId next_sniffer_id_ = 1;
+  std::vector<SnifferSlot> sniffers_;
+  std::vector<std::uint32_t> sniffer_free_;
+  std::size_t sniffer_count_ = 0;
   bool busy_ = false;
   bool contention_scheduled_ = false;
   std::uint64_t collisions_ = 0;

@@ -1,37 +1,62 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "src/sim/inline_function.hpp"
 #include "src/sim/time.hpp"
 
 namespace efd::sim {
 
-/// Handle to a scheduled event; allows cancellation. Copies share state, so a
-/// handle can be stashed by the component that scheduled the event and
-/// cancelled later (e.g. a retransmission timer disarmed by a SACK).
+class Simulator;
+
+/// The event engine's callback type: 48 bytes of inline capture, heap-boxed
+/// beyond that (see InlineFunction). 48 covers every MAC-timer shape in the
+/// codebase — `this` plus a few ids/Times, or a captured vector of winners.
+using EventFn = InlineFunction<void(), 48>;
+
+/// True when scheduling a callable of type `F` performs no heap allocation.
+/// Hot call sites pin themselves to this via `at_inline`/`after_inline`.
+template <typename F>
+inline constexpr bool fits_inline = EventFn::stores_inline<F>;
+
+/// Handle to a scheduled event; allows cancellation. A handle is a
+/// {slab slot, generation} pair: copies refer to the same slot, so one can be
+/// stashed by the component that scheduled the event and cancelled later
+/// (e.g. a retransmission timer disarmed by a SACK). Once the event fires or
+/// its cancellation is collected, the slot's generation advances and every
+/// outstanding handle to it goes inert — a stale handle can never cancel an
+/// event that recycled the slot.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancel the event if it has not fired yet. Idempotent.
-  void cancel() { if (cancelled_) *cancelled_ = true; }
+  /// Cancel the event if it has not fired yet. Idempotent. Cancellation is a
+  /// lazy tombstone: the slot is reclaimed when the dispatch loop pops it.
+  inline void cancel();
 
   /// True if the handle refers to an event that is still pending.
-  [[nodiscard]] bool pending() const { return cancelled_ && !*cancelled_ && !*fired_; }
+  [[nodiscard]] inline bool pending() const;
 
  private:
   friend class Simulator;
-  std::shared_ptr<bool> cancelled_;
-  std::shared_ptr<bool> fired_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Discrete-event simulator: a clock plus a time-ordered queue of callbacks.
 /// Events scheduled for the same instant fire in scheduling order (FIFO),
 /// which keeps MAC-layer tie-breaking deterministic.
+///
+/// Engine layout (DESIGN.md §9): event records live in a generation-counted
+/// slab with free-list reuse; the ready queue is a 4-ary min-heap of slim
+/// {time, seq, slot} nodes ordered by (time, seq). In steady state —
+/// slab and heap at capacity, inline-capture callbacks — schedule + dispatch
+/// performs zero heap allocations (pinned by sim_event_engine_test).
 class Simulator {
  public:
   Simulator() = default;
@@ -41,11 +66,27 @@ class Simulator {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must not be in the past).
-  EventHandle at(Time t, std::function<void()> fn);
+  EventHandle at(Time t, EventFn fn);
 
   /// Schedule `fn` after a relative delay from now.
-  EventHandle after(Time delay, std::function<void()> fn) {
+  EventHandle after(Time delay, EventFn fn) {
     return at(now_ + delay, std::move(fn));
+  }
+
+  /// `at`, statically guaranteed allocation-free: the capture must fit the
+  /// EventFn inline buffer. Hot per-symbol/per-slot call sites use this so a
+  /// capture that grows past the buffer fails to compile instead of silently
+  /// degrading to one heap allocation per event.
+  template <typename F>
+  EventHandle at_inline(Time t, F&& fn) {
+    static_assert(fits_inline<std::decay_t<F>>,
+                  "hot-path event capture spills out of the inline buffer");
+    return at(t, EventFn(std::forward<F>(fn)));
+  }
+
+  template <typename F>
+  EventHandle after_inline(Time delay, F&& fn) {
+    return at_inline<F>(now_ + delay, std::forward<F>(fn));
   }
 
   /// Run events until the queue drains or the clock would pass `end`.
@@ -55,31 +96,75 @@ class Simulator {
   /// Run until the event queue is empty.
   void run();
 
-  /// Number of events dispatched since construction.
+  /// Number of events dispatched since construction or the last reset().
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
 
-  /// Drop all pending events and reset the clock to zero.
+  /// Events scheduled but not yet fired or collected (tombstoned events
+  /// count until the dispatch loop reaps them).
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
+
+  /// Slab slots currently live (scheduled or tombstoned-awaiting-reap).
+  [[nodiscard]] std::size_t slab_occupancy() const {
+    return slots_.size() - free_.size();
+  }
+
+  /// Slab slots ever allocated (high-water mark of concurrent events).
+  [[nodiscard]] std::size_t slab_capacity() const { return slots_.size(); }
+
+  /// Drop all pending events and restore the as-constructed state: clock,
+  /// FIFO sequence counter, and dispatch count all return to zero, so a
+  /// reset simulator replays identical event orderings. Slot generations are
+  /// NOT reset — handles from before the reset stay inert even when their
+  /// slot is recycled.
   void reset();
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
-    std::shared_ptr<bool> fired;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+  friend class EventHandle;
+
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+    bool occupied = false;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Heap node: the sort keys plus the slab slot, kept slim so sifts move
+  /// 24 bytes instead of a fat event record.
+  struct HeapNode {
+    std::int64_t t_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  static bool earlier(const HeapNode& a, const HeapNode& b) {
+    if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_top();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  std::vector<Slot> slots_;           ///< event record slab
+  std::vector<std::uint32_t> free_;   ///< free slot stack (LIFO reuse)
+  std::vector<HeapNode> heap_;        ///< 4-ary min-heap over (t, seq)
   Time now_{};
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (sim_ == nullptr || slot_ >= sim_->slots_.size()) return;
+  Simulator::Slot& s = sim_->slots_[slot_];
+  if (s.gen == gen_ && s.occupied) s.cancelled = true;
+}
+
+inline bool EventHandle::pending() const {
+  if (sim_ == nullptr || slot_ >= sim_->slots_.size()) return false;
+  const Simulator::Slot& s = sim_->slots_[slot_];
+  return s.gen == gen_ && s.occupied && !s.cancelled;
+}
 
 }  // namespace efd::sim

@@ -57,6 +57,52 @@ void ParallelRunner::run(int n_tasks, const std::function<void(int)>& fn) const 
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ParallelRunner::run_with_sim(
+    int n_tasks, const std::function<void(int, sim::Simulator&)>& fn) const {
+  if (n_tasks <= 0) return;
+  const int workers = std::min(n_threads_, n_tasks);
+  EFD_GAUGE_SET("testbed.workers", workers);
+  EFD_TRACE_SPAN("testbed", "parallel_run");
+  if (workers <= 1) {
+    sim::Simulator sim;
+    for (int i = 0; i < n_tasks; ++i) {
+      EFD_TRACE_SPAN("testbed", "task");
+      sim.reset();
+      fn(i, sim);
+      EFD_COUNTER_INC("testbed.tasks_run");
+      EFD_COUNTER_INC("testbed.sim_reuses");
+    }
+    return;
+  }
+  std::atomic<int> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        sim::Simulator sim;  // worker-lifetime engine, reset between tasks
+        for (;;) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n_tasks) return;
+          try {
+            EFD_TRACE_SPAN("testbed", "task");
+            sim.reset();
+            fn(i, sim);
+            EFD_COUNTER_INC("testbed.tasks_run");
+            EFD_COUNTER_INC("testbed.sim_reuses");
+          } catch (...) {
+            const std::scoped_lock lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 int ParallelRunner::env_threads() {
   const char* env = std::getenv("EFD_BENCH_THREADS");
   if (env == nullptr) return 0;

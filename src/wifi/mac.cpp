@@ -29,7 +29,7 @@ void WifiMedium::notify_ready(WifiMac&) {
 
 void WifiMedium::schedule_contention() {
   contention_scheduled_ = true;
-  sim_.after(kDifs, [this] { resolve_contention(); });
+  sim_.after_inline(kDifs, [this] { resolve_contention(); });
 }
 
 void WifiMedium::resolve_contention() {
@@ -55,7 +55,7 @@ void WifiMedium::resolve_contention() {
   }
   busy_ = true;
   const sim::Time tx_start = sim_.now() + (min_backoff + 1) * kSlot;
-  sim_.at(tx_start, [this, winners] {
+  sim_.at_inline(tx_start, [this, winners] {
     std::vector<WifiFrame> frames;
     frames.reserve(winners.size());
     for (WifiMac* m : winners) frames.push_back(m->build_frame(sim_.now()));
@@ -117,7 +117,7 @@ void WifiMedium::finish_round(std::vector<WifiFrame> frames,
 
   const sim::Time idle_at =
       payload_end + kSifs + senders[0]->config().blockack;
-  sim_.at(idle_at, [this] {
+  sim_.at_inline(idle_at, [this] {
     busy_ = false;
     for (WifiMac* m : macs_) {
       if (m->has_pending()) {

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared counting-allocator fixture for allocation-regression tests: replaces
+// the global operator new/delete with versions that count every heap
+// allocation in the process, so a test can pin a code path to zero (or N)
+// allocations. Include from exactly ONE translation unit per test binary —
+// replacement allocation functions must not be inline, so a second including
+// TU in the same binary would violate the one-definition rule at link time.
+//
+// Used by obs_disabled_test (the EFD_* macros leave zero residue when
+// compiled out) and sim_event_engine_test (steady-state schedule+dispatch of
+// inline-capture events performs no heap allocation).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace efd::testsupport {
+
+/// Heap allocations since process start (every operator new, any thread).
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+/// Allocations performed while an instance is alive. Construct, run the code
+/// under test, then read `count()`.
+class AllocationWindow {
+ public:
+  AllocationWindow() : start_(g_allocations.load()) {}
+  [[nodiscard]] std::uint64_t count() const {
+    return g_allocations.load() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace efd::testsupport
+
+void* operator new(std::size_t size) {
+  efd::testsupport::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

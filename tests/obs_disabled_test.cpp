@@ -3,44 +3,21 @@
 // effects — so shipping builds can compile out observability wholesale.
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <string>
 
+#include "alloc_count.hpp"
 #include "src/obs/obs.hpp"
 
 #if EFD_OBS_ENABLED
 #error "obs_disabled_test must be compiled with EFD_OBS_ENABLED=0"
 #endif
 
-namespace {
-
-std::atomic<std::uint64_t> g_allocations{0};
-
-}  // namespace
-
-// Count every heap allocation in the process so the test can prove the
-// disabled macros never touch the allocator.
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-
 namespace efd {
 namespace {
 
 TEST(ObsDisabledTest, MacrosAddZeroAllocations) {
   // Warm anything lazily initialized outside the measured window.
-  const std::uint64_t before = g_allocations.load();
+  const testsupport::AllocationWindow window;
   for (int i = 0; i < 10000; ++i) {
     EFD_COUNTER_INC("disabled.counter");
     EFD_COUNTER_ADD("disabled.counter_add", i);
@@ -49,8 +26,7 @@ TEST(ObsDisabledTest, MacrosAddZeroAllocations) {
     EFD_TRACE_EVENT("disabled", "event");
     EFD_TRACE_SPAN("disabled", "span");
   }
-  const std::uint64_t after = g_allocations.load();
-  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(window.count(), 0u);
 }
 
 TEST(ObsDisabledTest, MacrosRegisterNothing) {

@@ -77,5 +77,53 @@ TEST(ParallelRunner, PerTaskTestbedsAreBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+/// Same metric as per_task_testbed_metric but on a runner-provided (reset)
+/// simulator, the worker-reuse formulation.
+double reused_sim_testbed_metric(int i, sim::Simulator& sim) {
+  Testbed::Config cfg;
+  cfg.with_hpav500 = false;
+  Testbed tb(sim, cfg);
+  sim.run_until(weekday_afternoon());
+  const auto& links = tb.plc_links();
+  const auto& [a, b] = links[static_cast<std::size_t>(i) % links.size()];
+  const auto snr = tb.plc_channel().snr_db(a, b, i % 6, sim.now());
+  return std::accumulate(snr.begin(), snr.end(), 0.0);
+}
+
+TEST(ParallelRunner, ReusedWorkerSimulatorsMatchPerTaskConstruction) {
+  // Simulator::reset must make a reused engine indistinguishable from a
+  // fresh one: same results for every task, any worker count.
+  constexpr int kTasks = 6;
+  const auto fresh =
+      ParallelRunner(1).map<double>(kTasks, per_task_testbed_metric);
+  const auto reused_serial =
+      ParallelRunner(1).map_with_sim<double>(kTasks, reused_sim_testbed_metric);
+  const auto reused_parallel =
+      ParallelRunner(4).map_with_sim<double>(kTasks, reused_sim_testbed_metric);
+  ASSERT_EQ(fresh.size(), reused_serial.size());
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(fresh[static_cast<std::size_t>(i)],
+              reused_serial[static_cast<std::size_t>(i)])
+        << "task " << i;
+    EXPECT_EQ(fresh[static_cast<std::size_t>(i)],
+              reused_parallel[static_cast<std::size_t>(i)])
+        << "task " << i;
+  }
+}
+
+TEST(ParallelRunner, RunWithSimResetsBetweenTasks) {
+  const ParallelRunner pool(1);
+  std::vector<std::uint64_t> dispatched;
+  pool.run_with_sim(3, [&](int, sim::Simulator& sim) {
+    EXPECT_EQ(sim.now(), sim::Time{});
+    EXPECT_EQ(sim.events_dispatched(), 0u);
+    for (int k = 0; k < 5; ++k) sim.after(sim::seconds(k + 1), [] {});
+    sim.run();
+    dispatched.push_back(sim.events_dispatched());
+  });
+  ASSERT_EQ(dispatched.size(), 3u);
+  for (const auto d : dispatched) EXPECT_EQ(d, 5u);
+}
+
 }  // namespace
 }  // namespace efd::testbed

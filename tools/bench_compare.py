@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_<figure>.json against a committed baseline.
+
+Used by the CI bench-smoke job and locally after a perf change:
+
+    tools/bench_compare.py BENCH_fig03.json bench/baselines/BENCH_fig03.json
+
+Two kinds of checks:
+
+  * Shape metrics (everything in the "metrics" array except the perf fields
+    below) must match the baseline EXACTLY — the figure benches are
+    deterministic for a fixed seed, so any drift is a correctness regression,
+    not noise.
+  * Perf fields — "wall_clock_s" and the "sim_events_per_sec" metric — may
+    drift with the machine; the check fails only on a relative regression
+    beyond --max-regress (default 0.25, the ">25%" CI gate). Improvements
+    never fail.
+
+Exit status: 0 on pass, 1 on any failure, 2 on usage/IO errors.
+"""
+
+import argparse
+import json
+import sys
+
+# Perf metrics: threshold-checked (higher is better unless listed in
+# LOWER_IS_BETTER), everything else must be bit-equal to the baseline.
+PERF_METRICS = {"sim_events_per_sec", "sim_events_dispatched"}
+LOWER_IS_BETTER = {"wall_clock_s"}
+# Exact-match exemptions: perf metrics plus anything machine-dependent.
+NON_SHAPE_METRICS = PERF_METRICS
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def metric_map(doc):
+    return {m["name"]: m["value"] for m in doc.get("metrics", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("current", help="freshly produced BENCH_<figure>.json")
+    ap.add_argument("baseline", help="committed baseline json")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="allowed relative perf regression (default 0.25)")
+    ap.add_argument("--skip-perf", action="store_true",
+                    help="only check shape metrics (for hosts with no "
+                         "comparable baseline timing)")
+    args = ap.parse_args()
+
+    cur, base = load(args.current), load(args.baseline)
+    cur_m, base_m = metric_map(cur), metric_map(base)
+    failures = []
+
+    # --- shape: exact equality with the baseline --------------------------
+    for name, want in sorted(base_m.items()):
+        if name in NON_SHAPE_METRICS:
+            continue
+        if name not in cur_m:
+            failures.append(f"shape metric '{name}' missing from {args.current}")
+        elif cur_m[name] != want:
+            failures.append(
+                f"shape metric '{name}' drifted: {cur_m[name]!r} != baseline {want!r}")
+        else:
+            print(f"  ok  {name:32s} {want}")
+
+    # --- perf: bounded regression -----------------------------------------
+    perf_pairs = [("wall_clock_s", cur.get("wall_clock_s"), base.get("wall_clock_s"))]
+    for name in sorted(PERF_METRICS):
+        if name in base_m:
+            perf_pairs.append((name, cur_m.get(name), base_m[name]))
+    for name, got, want in perf_pairs:
+        if args.skip_perf:
+            print(f"  --  {name:32s} skipped (--skip-perf)")
+            continue
+        if got is None or want is None or want == 0:
+            print(f"  --  {name:32s} no comparable baseline value")
+            continue
+        if name in LOWER_IS_BETTER:
+            ratio = got / want            # >1 means slower
+        else:
+            ratio = want / got if got else float("inf")  # >1 means less throughput
+        status = "ok" if ratio <= 1.0 + args.max_regress else "FAIL"
+        print(f"  {status:4s}{name:32s} current {got:.6g} vs baseline {want:.6g} "
+              f"({(ratio - 1.0) * 100.0:+.1f}% vs allowance {args.max_regress * 100.0:.0f}%)")
+        if status == "FAIL":
+            failures.append(
+                f"perf metric '{name}' regressed {(ratio - 1.0) * 100.0:.1f}%"
+                f" (> {args.max_regress * 100.0:.0f}% allowed)")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: {args.current} within budget of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
