@@ -9,8 +9,11 @@
 #include <queue>
 #include <vector>
 
+#include "src/fault/fault.hpp"
+#include "src/fault/injector.hpp"
 #include "src/grid/appliance.hpp"
 #include "src/grid/carrier_workspace.hpp"
+#include "src/hybrid/device.hpp"
 #include "src/obs/obs.hpp"
 #include "src/plc/channel.hpp"
 #include "src/plc/channel_estimator.hpp"
@@ -350,6 +353,95 @@ void BM_ObsSnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsSnapshot);
+
+// --- fault layer overhead (DESIGN.md §10) ---------------------------------
+// The robustness machinery must be free when unused: with no FaultPlan
+// installed an injector schedules nothing, and a HybridDevice without
+// enable_failover() pays exactly one untaken branch per enqueue. The pair
+// below measures the data path with the fault layer absent vs armed (all
+// members healthy), so any creep in the disabled-path cost shows up as the
+// two converging away from zero rather than staying within noise.
+
+struct SinkInterface final : net::Interface {
+  bool enqueue(const net::Packet&) override {
+    ++accepted;
+    return true;
+  }
+  [[nodiscard]] std::size_t queue_length() const override { return 0; }
+  void set_rx_handler(RxHandler) override {}
+  void clear_queue() override {}
+  std::uint64_t accepted = 0;
+};
+
+void BM_HybridEnqueueFaultLayerOff(benchmark::State& state) {
+  sim::Simulator sim;
+  SinkInterface a, b;
+  hybrid::HybridDevice dev(sim, {&a, &b},
+                           std::make_unique<hybrid::RoundRobinScheduler>(2));
+  net::Packet p;
+  p.size_bytes = 1316;
+  for (auto _ : state) {
+    ++p.seq;
+    benchmark::DoNotOptimize(dev.enqueue(p));
+  }
+  benchmark::DoNotOptimize(a.accepted + b.accepted);
+}
+BENCHMARK(BM_HybridEnqueueFaultLayerOff);
+
+void BM_HybridEnqueueFailoverArmed(benchmark::State& state) {
+  sim::Simulator sim;
+  SinkInterface a, b;
+  hybrid::HybridDevice dev(sim, {&a, &b},
+                           std::make_unique<hybrid::RoundRobinScheduler>(2));
+  hybrid::HybridDevice::FailoverConfig fc;
+  fc.health.probe_interval = sim::hours(1);  // no probe fires mid-bench
+  dev.enable_failover(fc);
+  net::Packet p;
+  p.size_bytes = 1316;
+  for (auto _ : state) {
+    ++p.seq;
+    benchmark::DoNotOptimize(dev.enqueue(p));
+  }
+  benchmark::DoNotOptimize(a.accepted + b.accepted);
+}
+BENCHMARK(BM_HybridEnqueueFailoverArmed);
+
+void BM_FaultInjectorIdleChurn(benchmark::State& state) {
+  // The 64-timer churn workload with an armed-but-empty injector alongside:
+  // hooks installed, no plan, so the dispatch rate must match
+  // BM_EventEngineTimerChurn (an idle fault layer executes nothing).
+  sim::Simulator sim;
+  fault::FaultInjector inj(sim);
+  inj.set_hooks(fault::FaultKind::kPlcBlackout,
+                {[](const fault::FaultSpec&, sim::Time) {},
+                 [](const fault::FaultSpec&, sim::Time) {}});
+  inj.install(fault::FaultPlan{});
+  struct Timer {
+    sim::Simulator* sim;
+    sim::Time period;
+    std::uint64_t fires = 0;
+    void arm() {
+      sim->after_inline(period, [this] {
+        ++fires;
+        arm();
+      });
+    }
+  };
+  std::vector<Timer> timers;
+  timers.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    timers.push_back(Timer{&sim, sim::nanoseconds(900 + 7 * i)});
+    timers.back().arm();
+  }
+  std::int64_t end = 0;
+  for (auto _ : state) {
+    sim.run_until(sim::Time{end += 1000});
+  }
+  std::uint64_t total = 0;
+  for (const Timer& timer : timers) total += timer.fires;
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_FaultInjectorIdleChurn);
 
 void BM_EstimatorFrameUpdate(benchmark::State& state) {
   Rig rig;

@@ -1,0 +1,81 @@
+#include "src/fault/fault.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace efd::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPlcBlackout: return "plc_blackout";
+    case FaultKind::kWifiJam: return "wifi_jam";
+    case FaultKind::kModemReset: return "modem_reset";
+    case FaultKind::kPacketCorruption: return "corruption";
+    case FaultKind::kQueueStall: return "queue_stall";
+  }
+  return "?";
+}
+
+const char* to_string(FaultPhase phase) {
+  switch (phase) {
+    case FaultPhase::kApply: return "apply";
+    case FaultPhase::kClear: return "clear";
+    case FaultPhase::kTrip: return "trip";
+    case FaultPhase::kHalfOpen: return "half_open";
+    case FaultPhase::kRecover: return "recover";
+    case FaultPhase::kRequeue: return "requeue";
+    case FaultPhase::kDrop: return "drop";
+  }
+  return "?";
+}
+
+std::string to_line(const FaultEvent& e) {
+  // %.17g round-trips doubles exactly, so the rendering is byte-stable for
+  // any severity a plan or Rng can produce.
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 " %s %s target=%d sev=%.17g",
+                e.t.ns(), to_string(e.kind), to_string(e.phase), e.target,
+                e.severity);
+  return buf;
+}
+
+FaultPlan& FaultPlan::add(const FaultSpec& spec) {
+  // Keep sorted by onset; equal onsets keep insertion order so composing a
+  // plan is deterministic regardless of how it was assembled.
+  const auto it = std::upper_bound(
+      specs_.begin(), specs_.end(), spec,
+      [](const FaultSpec& a, const FaultSpec& b) { return a.onset < b.onset; });
+  specs_.insert(it, spec);
+  return *this;
+}
+
+sim::Time FaultPlan::end() const {
+  sim::Time last{};
+  for (const FaultSpec& s : specs_) last = std::max(last, s.onset + s.duration);
+  return last;
+}
+
+FaultPlan FaultPlan::random_storm(sim::Rng rng, const StormConfig& cfg) {
+  static const std::vector<FaultKind> kDefaultKinds = {
+      FaultKind::kPlcBlackout, FaultKind::kWifiJam, FaultKind::kPacketCorruption,
+      FaultKind::kQueueStall};
+  const std::vector<FaultKind>& kinds =
+      cfg.kinds.empty() ? kDefaultKinds : cfg.kinds;
+  FaultPlan plan;
+  for (int i = 0; i < cfg.n_faults; ++i) {
+    FaultSpec s;
+    s.onset = sim::Time{rng.uniform_int(cfg.start.ns(), cfg.horizon.ns() - 1)};
+    s.duration =
+        sim::Time{rng.uniform_int(cfg.min_duration.ns(), cfg.max_duration.ns())};
+    s.kind = kinds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kinds.size()) - 1))];
+    s.target = static_cast<int>(rng.uniform_int(0, cfg.n_targets - 1));
+    s.severity = rng.uniform(cfg.min_severity, cfg.max_severity);
+    if (s.kind == FaultKind::kModemReset) s.duration = sim::Time{};
+    plan.add(s);
+  }
+  return plan;
+}
+
+}  // namespace efd::fault

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.hpp"
+#include "src/sim/time.hpp"
+
+namespace efd::fault {
+
+/// The fault taxonomy (DESIGN.md §10). Each kind maps onto one of the
+/// failure modes the paper observes: PLC links collapse under appliance
+/// impulsive noise and tone-map invalidation (§5-§6), WiFi degrades under
+/// interference (§4), and real adapters occasionally reset or wedge their
+/// transmit queues (§7.1 power-cycles devices between runs for a reason).
+enum class FaultKind : std::uint8_t {
+  /// Appliance surge on the mains: PB decodes fail at `severity`
+  /// probability (1.0 = total blackout) and tone maps are invalidated,
+  /// forcing a ROBO re-sound when the surge clears.
+  kPlcBlackout,
+  /// Interferer burst on the WiFi channel: receiver SNR drops by
+  /// `severity` dB for the duration (large values kill even MCS0).
+  kWifiJam,
+  /// Adapter/modem reset: transmit queue flushed, backoff and estimator
+  /// state restarted. `severity` is unused.
+  kModemReset,
+  /// Random corruption: PB/MPDU decodes additionally fail with
+  /// probability `severity` (a milder, persistent cousin of blackout).
+  kPacketCorruption,
+  /// The interface's transmit path wedges: the queue accepts packets but
+  /// stops draining until the fault clears. `severity` is unused.
+  kQueueStall,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault: (onset, duration, kind, target, severity).
+/// `target` is hook-defined — a medium index, station id, or interface
+/// index, whatever the installed hook for `kind` expects.
+struct FaultSpec {
+  sim::Time onset{};
+  sim::Time duration{};
+  FaultKind kind = FaultKind::kPlcBlackout;
+  int target = 0;
+  double severity = 1.0;
+};
+
+/// Lifecycle phase of a fault/recovery trace record. kApply/kClear come
+/// from the injector itself; the rest are recovery-side events recorded by
+/// the failover machinery (health-monitor transitions, salvage outcomes).
+enum class FaultPhase : std::uint8_t {
+  kApply,     ///< fault onset took effect
+  kClear,     ///< fault duration elapsed, effect removed
+  kTrip,      ///< a health monitor opened (interface declared dead)
+  kHalfOpen,  ///< reprobe succeeded once, trial traffic allowed
+  kRecover,   ///< monitor closed again (interface declared live)
+  kRequeue,   ///< a queued packet was salvaged onto a surviving interface
+  kDrop,      ///< a queued packet exhausted its salvage budget
+};
+
+[[nodiscard]] const char* to_string(FaultPhase phase);
+
+/// One record of the fault/recovery event trace. The trace is the
+/// determinism contract: identical seed + identical plan must produce a
+/// byte-identical sequence of these (see FaultInjector::trace_lines).
+struct FaultEvent {
+  sim::Time t{};
+  FaultKind kind = FaultKind::kPlcBlackout;
+  FaultPhase phase = FaultPhase::kApply;
+  int target = 0;
+  double severity = 0.0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Fixed-format rendering ("<ns> <kind> <phase> target=<n> sev=<x>"); used
+/// by the byte-identical trace comparisons.
+[[nodiscard]] std::string to_line(const FaultEvent& e);
+
+/// An ordered set of faults to inject, composable declaratively or drawn
+/// from a seeded Rng. Specs are kept sorted by (onset, insertion order) so
+/// the injector's schedule — and therefore the event trace — is a pure
+/// function of the plan.
+class FaultPlan {
+ public:
+  FaultPlan& add(const FaultSpec& spec);
+
+  /// Convenience composers.
+  FaultPlan& blackout(sim::Time onset, sim::Time duration, int target = 0,
+                      double severity = 1.0) {
+    return add({onset, duration, FaultKind::kPlcBlackout, target, severity});
+  }
+  FaultPlan& wifi_jam(sim::Time onset, sim::Time duration, int target = 0,
+                      double severity_db = 40.0) {
+    return add({onset, duration, FaultKind::kWifiJam, target, severity_db});
+  }
+  FaultPlan& modem_reset(sim::Time onset, int target = 0) {
+    return add({onset, sim::Time{}, FaultKind::kModemReset, target, 0.0});
+  }
+  FaultPlan& corruption(sim::Time onset, sim::Time duration, int target,
+                        double probability) {
+    return add({onset, duration, FaultKind::kPacketCorruption, target, probability});
+  }
+  FaultPlan& queue_stall(sim::Time onset, sim::Time duration, int target = 0) {
+    return add({onset, duration, FaultKind::kQueueStall, target, 0.0});
+  }
+
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+  /// Time at which the last fault has cleared.
+  [[nodiscard]] sim::Time end() const;
+
+  /// Parameters for a seeded random fault storm.
+  struct StormConfig {
+    sim::Time start = sim::seconds(1);
+    sim::Time horizon = sim::seconds(60);   ///< onsets drawn in [start, horizon)
+    int n_faults = 8;
+    sim::Time min_duration = sim::milliseconds(200);
+    sim::Time max_duration = sim::seconds(5);
+    /// Kinds to draw from (uniformly). Empty = all duration-bearing kinds.
+    std::vector<FaultKind> kinds;
+    int n_targets = 1;                      ///< targets drawn in [0, n_targets)
+    double min_severity = 0.5;
+    double max_severity = 1.0;
+  };
+
+  /// Draw a storm from a seeded Rng: the same seed + config always yields
+  /// the same plan (and therefore the same injector trace).
+  [[nodiscard]] static FaultPlan random_storm(sim::Rng rng, const StormConfig& cfg);
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace efd::fault

@@ -29,8 +29,11 @@ void ReorderBuffer::on_packet(const net::Packet& p, sim::Time now) {
     return;
   }
   if (p.seq < next_seq_) {
-    EFD_COUNTER_INC("hybrid.reorder.stragglers");
-    deliver_(p, now);  // late straggler: release immediately, keep order state
+    // Late straggler: its gap was already abandoned (or it is a duplicate
+    // from failover salvage). Delivering it now would hand the app layer an
+    // out-of-order or duplicate packet — drop it instead.
+    ++straggler_drops_;
+    EFD_COUNTER_INC("hybrid.reorder.straggler_drops");
     return;
   }
   buffer_.emplace(p.seq, p);
@@ -50,6 +53,17 @@ void ReorderBuffer::on_packet(const net::Packet& p, sim::Time now) {
   }
   arm_timeout();
   overflow_valve();
+}
+
+void ReorderBuffer::clear() {
+  timeout_.cancel();
+  buffer_.clear();
+  next_seq_ = 0;
+  started_ = false;
+  warmup_ = false;
+  blocked_ = false;
+  block_start_ = sim::Time{};
+  EFD_GAUGE_SET("hybrid.reorder.buffered", 0);
 }
 
 void ReorderBuffer::overflow_valve() {

@@ -10,12 +10,21 @@ namespace efd::hybrid {
 
 /// Destination-side packet re-sequencer: packets of one flow fan out over
 /// two mediums with different latencies and arrive out of order; this
-/// buffer releases them by the IP identification sequence, with a timeout
-/// so a loss on one medium cannot stall the flow (§7.4's "simple algorithm
-/// that checks the identification sequence of the IP header").
+/// buffer releases them by the IP identification sequence, with a gap
+/// timeout so a loss on one medium cannot stall the flow (§7.4's "simple
+/// algorithm that checks the identification sequence of the IP header").
+///
+/// Failure semantics: when a sequence gap times out (a packet lost forever
+/// on a failed medium), delivery skips past it; a copy of the skipped
+/// packet arriving later — a straggler that survived a dead interface's
+/// retransmission queue, or a duplicate created by failover salvage — is
+/// DROPPED, never delivered out of order or twice. The app layer therefore
+/// sees a strictly increasing sequence, faults or not.
 class ReorderBuffer {
  public:
   struct Config {
+    /// How long one head-of-line gap may block delivery before it is
+    /// abandoned (the failover gap timeout).
     sim::Time hold_timeout = sim::milliseconds(40);
     std::size_t max_buffered = 2048;
   };
@@ -32,8 +41,16 @@ class ReorderBuffer {
   /// Feed a packet arriving from either interface.
   void on_packet(const net::Packet& p, sim::Time now);
 
+  /// Adapter reset: drop everything buffered and return to the fresh
+  /// (pre-warm-up) state; the next packet restarts sequence locking.
+  /// Counters survive the reset.
+  void clear();
+
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  /// Packets that arrived after their gap was abandoned and were dropped
+  /// to preserve in-order delivery.
+  [[nodiscard]] std::uint64_t stragglers_dropped() const { return straggler_drops_; }
 
  private:
   void drain();
@@ -52,6 +69,7 @@ class ReorderBuffer {
   sim::Time block_start_{};    ///< when the current gap started blocking
   sim::EventHandle timeout_;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t straggler_drops_ = 0;
 };
 
 }  // namespace efd::hybrid

@@ -26,6 +26,12 @@ int CapacityScheduler::pick(const net::Packet&) {
           break;
         }
       }
+    } else {
+      // All-zero capacities: round-robin so no interface is starved of the
+      // traffic that would reveal its recovery.
+      picked = rr_next_;
+      rr_next_ = (rr_next_ + 1) % static_cast<int>(capacities_.size());
+      EFD_COUNTER_INC("hybrid.sched.zero_cap_fallbacks");
     }
   }
   record_decision(picked);

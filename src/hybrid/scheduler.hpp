@@ -22,7 +22,11 @@ class PacketScheduler {
 };
 
 /// The paper's load balancer: forward each packet to medium `i` with
-/// probability proportional to its estimated capacity (§7.4).
+/// probability proportional to its estimated capacity (§7.4). When every
+/// estimate is zero (cold start before the first probe, or every member
+/// tripped by failover) it degrades to round-robin over all interfaces
+/// instead of silently pinning interface 0 — packets keep probing every
+/// medium so the first one to recover is noticed.
 class CapacityScheduler final : public PacketScheduler {
  public:
   explicit CapacityScheduler(sim::Rng rng) : rng_(rng) {}
@@ -35,6 +39,7 @@ class CapacityScheduler final : public PacketScheduler {
  private:
   sim::Rng rng_;
   std::vector<double> capacities_;
+  int rr_next_ = 0;  ///< all-zero-capacity fallback cursor
 };
 
 /// The paper's baseline (§7.4, Fig. 20): equal packet counts per medium,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "src/net/packet.hpp"
 
@@ -29,6 +30,12 @@ class Interface {
   /// Back-to-back experiments use this so one run's retransmission backlog
   /// cannot contend with the next run's traffic.
   virtual void clear_queue() {}
+
+  /// Remove and return the queued packets, in queue order (each packet
+  /// once, even if the MAC had segmented it). Failover uses this to salvage
+  /// a dead interface's backlog onto a surviving medium; the default (a
+  /// queue that cannot be drained externally) returns nothing.
+  virtual std::vector<Packet> take_queue() { return {}; }
 };
 
 }  // namespace efd::net

@@ -216,6 +216,16 @@ void ChannelEstimator::reset(sim::Time now) {
   pbs_per_frame_ewma_ = 10.0;
 }
 
+void ChannelEstimator::invalidate_tone_maps(sim::Time now) {
+  maps_.slots.clear();
+  has_maps_ = false;
+  created_ = now;
+  // Relax the trigger EWMAs: the error burst that killed the maps should
+  // not immediately re-trip the error retune once fresh maps exist.
+  pberr_ewma_ = 0.0;
+  pberr_ewma_slow_ = 0.0;
+}
+
 double ChannelEstimator::ble_mbps(int slot) const {
   if (!has_maps_) return maps_.robo.ble_mbps();
   assert(slot >= 0 && slot < static_cast<int>(maps_.slots.size()));

@@ -82,6 +82,12 @@ class ChannelEstimator {
   /// accumulated statistics and tone maps.
   void reset(sim::Time now);
 
+  /// Fault injection (fault::FaultKind::kPlcBlackout): the surge corrupted
+  /// the negotiated tone maps — drop them (forcing the next frame back to
+  /// a ROBO sound exchange, §2.1) but keep the accumulated per-carrier
+  /// statistics, so re-estimation after the fault clears is fast.
+  void invalidate_tone_maps(sim::Time now);
+
   [[nodiscard]] const ToneMapSet& tone_maps() const { return maps_; }
   [[nodiscard]] bool has_tone_maps() const { return has_maps_; }
 

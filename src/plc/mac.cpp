@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <unordered_set>
 
 #include "src/obs/obs.hpp"
 #include "src/plc/medium.hpp"
@@ -66,6 +67,31 @@ bool PlcMac::enqueue(const net::Packet& p) {
 
 std::size_t PlcMac::queue_length() const {
   return queued_pbs_ / 3;  // rough packets-outstanding figure
+}
+
+std::vector<net::Packet> PlcMac::take_queue() {
+  std::vector<net::Packet> out;
+  std::unordered_set<std::uint64_t> seen;
+  for (const PbUnit& pb : pb_queue_) {
+    if (seen.insert(pb.packet->id).second) out.push_back(*pb.packet);
+  }
+  pb_queue_.clear();
+  queued_pbs_ = 0;
+  return out;
+}
+
+void PlcMac::set_stalled(bool stalled) {
+  stalled_ = stalled;
+  if (!stalled_ && !pb_queue_.empty()) medium_.notify_ready(*this);
+}
+
+void PlcMac::reset_modem() {
+  pb_queue_.clear();
+  queued_pbs_ = 0;
+  reassembly_.clear();
+  stage_ = 0;
+  backoff_ = -1;
+  dc_ = cfg_.dc[0];
 }
 
 void PlcMac::redraw_backoff() {

@@ -142,10 +142,29 @@ void PlcMedium::resolve_contention() {
   busy_ = true;
   const sim::Time tx_start = sim_.now() + kPrs + (min_backoff + 1) * kSlot;
   sim_.at_inline(tx_start, [this, winners] {
+    // A winner may have lost its backlog between contention resolution and
+    // the preamble (modem-reset / queue-stall fault injection); it cannot
+    // transmit. On the no-fault path every winner still has PBs pending.
     std::vector<PlcFrame> frames;
+    std::vector<PlcMac*> senders;
     frames.reserve(winners.size());
-    for (PlcMac* m : winners) frames.push_back(m->build_frame(sim_.now()));
-    finish_round(std::move(frames), winners);
+    senders.reserve(winners.size());
+    for (PlcMac* m : winners) {
+      if (!m->has_pending()) continue;
+      senders.push_back(m);
+      frames.push_back(m->build_frame(sim_.now()));
+    }
+    if (frames.empty()) {
+      busy_ = false;
+      for (PlcMac* m : macs_) {
+        if (m->has_pending()) {
+          schedule_contention();
+          break;
+        }
+      }
+      return;
+    }
+    finish_round(std::move(frames), std::move(senders));
   });
 }
 
@@ -208,6 +227,12 @@ void PlcMedium::finish_round(std::vector<PlcFrame> frames,
       if (collision && adv < kCaptureThresholdDb) return false;
       double p = channel_.pb_error_probability(f.tone_map, f.src, rx_mac.id(),
                                                f.slot, f.start);
+      if (fault_pberr_ > 0.0) {
+        // Injected impulsive noise rides on top of the channel's own error
+        // floor; the estimator cannot tell the two apart (exactly like
+        // capture-effect losses, §8.2).
+        p = 1.0 - (1.0 - p) * (1.0 - fault_pberr_);
+      }
       if (collision) {
         // Captured frame: interference corrupts PBs during the overlap —
         // errors the estimator cannot tell from channel noise (§8.2).

@@ -62,6 +62,16 @@ class PlcMedium {
   /// A MAC signals that it has PBs pending (queue went non-empty).
   void notify_ready(PlcMac& mac);
 
+  /// Fault injection (fault::FaultKind::kPlcBlackout / kPacketCorruption):
+  /// every PB decode additionally fails with probability `p` — an appliance
+  /// surge's impulsive noise floor. 1.0 blacks the bus out entirely (no PB
+  /// survives, SACKs report total loss, estimators retune away and drop
+  /// their maps). 0 restores the clean channel; the default path draws the
+  /// same RNG sequence as before the hook existed, so no-fault runs stay
+  /// byte-identical.
+  void set_fault_pb_error(double p) { fault_pberr_ = p; }
+  [[nodiscard]] double fault_pb_error() const { return fault_pberr_; }
+
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_; }
@@ -90,6 +100,7 @@ class PlcMedium {
   std::size_t sniffer_count_ = 0;
   bool busy_ = false;
   bool contention_scheduled_ = false;
+  double fault_pberr_ = 0.0;  ///< injected impulsive-noise PB error floor
   std::uint64_t collisions_ = 0;
   std::uint64_t frames_ = 0;
   bool beacons_enabled_ = false;

@@ -17,6 +17,10 @@ constexpr std::size_t kArity = 4;
 std::uint32_t Simulator::acquire_slot() {
   if (free_.empty()) {
     slots_.emplace_back();
+    // The free stack must absorb every live slot without reallocating, or
+    // release_slot allocates while a pre-scheduled batch (a fault plan, a
+    // bursty source) drains — paid here, where the slab grows anyway.
+    if (free_.capacity() < slots_.capacity()) free_.reserve(slots_.capacity());
     return static_cast<std::uint32_t>(slots_.size() - 1);
   }
   const std::uint32_t slot = free_.back();

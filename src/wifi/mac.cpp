@@ -56,10 +56,29 @@ void WifiMedium::resolve_contention() {
   busy_ = true;
   const sim::Time tx_start = sim_.now() + (min_backoff + 1) * kSlot;
   sim_.at_inline(tx_start, [this, winners] {
+    // Fault injection can empty a winner's queue (modem reset) or stall it
+    // between the backoff win and the preamble; skip those senders. The
+    // no-fault path never takes the branch.
     std::vector<WifiFrame> frames;
+    std::vector<WifiMac*> senders;
     frames.reserve(winners.size());
-    for (WifiMac* m : winners) frames.push_back(m->build_frame(sim_.now()));
-    finish_round(std::move(frames), winners);
+    senders.reserve(winners.size());
+    for (WifiMac* m : winners) {
+      if (!m->has_pending()) continue;
+      senders.push_back(m);
+      frames.push_back(m->build_frame(sim_.now()));
+    }
+    if (frames.empty()) {
+      busy_ = false;
+      for (WifiMac* m : macs_) {
+        if (m->has_pending()) {
+          schedule_contention();
+          break;
+        }
+      }
+      return;
+    }
+    finish_round(std::move(frames), std::move(senders));
   });
 }
 
@@ -100,7 +119,7 @@ void WifiMedium::finish_round(std::vector<WifiFrame> frames,
     }
 
     if (decodable) {
-      const double snr = channel_.snr_db(f.src, f.dst, f.start);
+      const double snr = channel_.snr_db(f.src, f.dst, f.start) - jam_db_;
       const double p = Mcs::mpdu_error_probability(f.mcs, snr);
       std::vector<int> failed;
       for (std::size_t i = 0; i < f.mpdus.size(); ++i) {

@@ -54,6 +54,15 @@ class WifiMedium {
   void notify_ready(WifiMac& mac);
   void add_mcs_listener(std::function<void(const McsRecord&)> fn);
 
+  /// Fault injection (fault::FaultKind::kWifiJam): an interferer burst
+  /// drops every receiver's effective SNR by `db` for the duration. Rate
+  /// control keeps choosing MCSes from its stale, jam-blind estimate, so a
+  /// deep jam turns into wholesale MPDU loss and retry exhaustion — the
+  /// §4 "WiFi degrades under interference" failure mode. 0 restores the
+  /// clean channel and the exact pre-fault RNG sequence.
+  void set_jamming_db(double db) { jam_db_ = db; }
+  [[nodiscard]] double jamming_db() const { return jam_db_; }
+
   [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
 
  private:
@@ -68,6 +77,7 @@ class WifiMedium {
   std::vector<std::function<void(const McsRecord&)>> listeners_;
   bool busy_ = false;
   bool contention_scheduled_ = false;
+  double jam_db_ = 0.0;  ///< injected interferer SNR penalty at receivers
   std::uint64_t collisions_ = 0;
 };
 
@@ -104,10 +114,37 @@ class WifiMac final : public net::Interface {
     retry_counts_.clear();
   }
 
+  /// Remove and return the queued packets; failover salvages a dead
+  /// interface's backlog through this.
+  std::vector<net::Packet> take_queue() override {
+    std::vector<net::Packet> out(queue_.begin(), queue_.end());
+    queue_.clear();
+    retry_counts_.clear();
+    return out;
+  }
+
   [[nodiscard]] net::StationId id() const { return self_; }
 
+  // --- Fault hooks (fault::FaultInjector) ----------------------------------
+
+  /// Queue-stall fault: enqueue still accepts, but the MAC stops contending
+  /// until the stall clears.
+  void set_stalled(bool stalled) {
+    stalled_ = stalled;
+    if (!stalled_ && !queue_.empty()) medium_.notify_ready(*this);
+  }
+  [[nodiscard]] bool stalled() const { return stalled_; }
+
+  /// Modem reset fault: flush the queue and restart the backoff machinery.
+  void reset_modem() {
+    queue_.clear();
+    retry_counts_.clear();
+    cw_ = cfg_.cw_min;
+    backoff_ = -1;
+  }
+
   // Medium hooks.
-  [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+  [[nodiscard]] bool has_pending() const { return !stalled_ && !queue_.empty(); }
   [[nodiscard]] int current_backoff();
   void on_medium_busy(int slots_elapsed);
   [[nodiscard]] WifiFrame build_frame(sim::Time now);
@@ -133,6 +170,7 @@ class WifiMac final : public net::Interface {
 
   std::deque<net::Packet> queue_;
   std::deque<int> retry_counts_;  ///< parallel to queue_
+  bool stalled_ = false;
   int cw_ = 16;
   int backoff_ = -1;
   std::uint64_t delivered_ = 0;

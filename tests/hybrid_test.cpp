@@ -56,6 +56,22 @@ TEST(CapacityScheduler, NoCapacitiesDefaultsToFirst) {
   EXPECT_EQ(sched.pick(p), 0);
 }
 
+TEST(CapacityScheduler, AllZeroCapacitiesFallBackToRoundRobin) {
+  // Cold start / every-member-tripped: proportional weights are undefined,
+  // so the scheduler must keep cycling all interfaces instead of pinning
+  // everything on interface 0.
+  CapacityScheduler sched{sim::Rng{4}};
+  sched.set_capacities({0.0, 0.0, 0.0});
+  net::Packet p;
+  EXPECT_EQ(sched.pick(p), 0);
+  EXPECT_EQ(sched.pick(p), 1);
+  EXPECT_EQ(sched.pick(p), 2);
+  EXPECT_EQ(sched.pick(p), 0);
+  // Restoring real capacities leaves the proportional path intact.
+  sched.set_capacities({0.0, 50.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sched.pick(p), 1);
+}
+
 TEST(RoundRobinScheduler, AlternatesExactly) {
   RoundRobinScheduler sched{3};
   net::Packet p;
@@ -118,7 +134,10 @@ TEST(ReorderBuffer, TimeoutSkipsGap) {
   EXPECT_EQ(rb.timeouts(), 1u);
 }
 
-TEST(ReorderBuffer, LateStragglerIsDeliveredImmediately) {
+TEST(ReorderBuffer, LateStragglerAfterGapTimeoutIsDropped) {
+  // Permanent-loss semantics: once a gap is abandoned, a late copy of the
+  // missing packet must NOT be delivered out of order — it is dropped and
+  // the flow continues strictly in sequence.
   sim::Simulator sim;
   std::vector<std::uint32_t> out;
   ReorderBuffer::Config cfg;
@@ -134,7 +153,59 @@ TEST(ReorderBuffer, LateStragglerIsDeliveredImmediately) {
   ASSERT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
   p.seq = 1;  // straggler arrives after its gap was skipped
   rb.on_packet(p, sim.now());
-  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2, 1}));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(rb.stragglers_dropped(), 1u);
+  p.seq = 3;  // the live flow is unaffected
+  rb.on_packet(p, sim.now());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2, 3}));
+}
+
+TEST(ReorderBuffer, DuplicateOfDeliveredPacketIsDropped) {
+  // Failover salvage can re-send a packet that actually made it through on
+  // the dying interface; the duplicate must not reach the app layer.
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::milliseconds(5);
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); },
+                   cfg);
+  net::Packet p;
+  p.seq = 0;
+  rb.on_packet(p, sim.now());
+  sim.run_until(sim::milliseconds(10));  // warm-up done, 0 delivered
+  p.seq = 1;
+  rb.on_packet(p, sim.now());
+  ASSERT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
+  p.seq = 0;  // duplicate of an already-delivered packet
+  rb.on_packet(p, sim.now());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(rb.stragglers_dropped(), 1u);
+}
+
+TEST(ReorderBuffer, ClearResetsToFreshState) {
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::milliseconds(5);
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); },
+                   cfg);
+  net::Packet p;
+  p.seq = 0;
+  rb.on_packet(p, sim.now());
+  p.seq = 2;
+  rb.on_packet(p, sim.now());
+  EXPECT_EQ(rb.buffered(), 2u);
+  rb.clear();
+  EXPECT_EQ(rb.buffered(), 0u);
+  EXPECT_TRUE(out.empty());
+  // A fresh flow (new sequence range) starts cleanly after the reset.
+  sim.run_until(sim::milliseconds(1));
+  p.seq = 100;
+  rb.on_packet(p, sim.now());
+  p.seq = 101;
+  rb.on_packet(p, sim.now());
+  sim.run_until(sim::milliseconds(20));  // warm-up relocks onto 100
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{100, 101}));
 }
 
 TEST(ReorderBuffer, HandlesBurstLossOverflow) {
@@ -188,6 +259,149 @@ TEST(HybridDevice, AggregatesTwoPipes) {
   const double frac = tx_dev.sent_per_interface(0) /
                       static_cast<double>(500);
   EXPECT_NEAR(frac, 0.8, 0.07);
+}
+
+/// Loopback pipe whose wire can be cut: while `dead_`, enqueued packets
+/// pile up in a salvageable queue instead of being delivered. Packets (and
+/// probe echoes) otherwise return to this pipe's own rx handler after a
+/// fixed latency, which lets a single HybridDevice exercise the full
+/// probe -> echo -> result round trip.
+class KillablePipe final : public net::Interface {
+ public:
+  KillablePipe(sim::Simulator& sim, sim::Time latency) : sim_(sim), latency_(latency) {}
+
+  bool enqueue(const net::Packet& p) override {
+    ++enqueued_;
+    if (dead_) {
+      queued_.push_back(p);
+      return true;
+    }
+    sim_.after(latency_, [this, p] {
+      if (!dead_ && rx_) rx_(p, sim_.now());
+    });
+    return true;
+  }
+  [[nodiscard]] std::size_t queue_length() const override { return queued_.size(); }
+  void set_rx_handler(RxHandler handler) override { rx_ = std::move(handler); }
+  void clear_queue() override { queued_.clear(); }
+  std::vector<net::Packet> take_queue() override {
+    std::vector<net::Packet> out;
+    out.swap(queued_);
+    return out;
+  }
+
+  bool dead_ = false;
+  std::uint64_t enqueued_ = 0;
+  std::vector<net::Packet> queued_;
+
+ private:
+  sim::Simulator& sim_;
+  sim::Time latency_;
+  RxHandler rx_;
+};
+
+TEST(HybridDevice, ClearQueueFansOutToMembersAndReorder) {
+  sim::Simulator sim;
+  KillablePipe a(sim, sim::milliseconds(1));
+  KillablePipe b(sim, sim::milliseconds(1));
+  HybridDevice dev(sim, {&a, &b}, std::make_unique<RoundRobinScheduler>(2));
+  std::vector<std::uint32_t> out;
+  dev.set_rx_handler([&](const net::Packet& p, sim::Time) { out.push_back(p.seq); });
+  dev.start_receiving();
+
+  // Park an out-of-order packet in the reorder buffer (warm-up holds it)...
+  net::Packet p;
+  p.seq = 7;
+  dev.enqueue(p);
+  sim.run_until(sim::milliseconds(5));
+  EXPECT_EQ(dev.reorder().buffered(), 1u);
+
+  // ...and a backlog in both member queues.
+  a.dead_ = b.dead_ = true;
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    p.seq = s;
+    dev.enqueue(p);
+  }
+  EXPECT_EQ(dev.queue_length(), 10u);
+
+  // The logical interface's flush reaches every member and the resequencer.
+  dev.clear_queue();
+  EXPECT_EQ(dev.queue_length(), 0u);
+  EXPECT_EQ(dev.reorder().buffered(), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HybridDevice, FailoverTripsSalvagesAndRecovers) {
+  sim::Simulator sim;
+  KillablePipe a(sim, sim::milliseconds(1));
+  KillablePipe b(sim, sim::milliseconds(1));
+  HybridDevice dev(sim, {&a, &b},
+                   std::make_unique<CapacityScheduler>(sim::Rng{9}));
+  dev.set_capacities({50.0, 50.0});
+
+  std::vector<std::pair<int, fault::HealthMonitor::State>> transitions;
+  HybridDevice::FailoverConfig fc;
+  fc.health.probe_interval = sim::milliseconds(10);
+  fc.health.probe_timeout = sim::milliseconds(5);
+  fc.health.trip_threshold = 2;
+  fc.health.backoff_initial = sim::milliseconds(20);
+  fc.health.backoff_max = sim::milliseconds(40);
+  fc.health.recovery_successes = 2;
+  fc.on_transition = [&](int m, fault::HealthMonitor::State s, sim::Time) {
+    transitions.emplace_back(m, s);
+  };
+  dev.enable_failover(fc);
+
+  sim.run_until(sim::milliseconds(100));
+  EXPECT_TRUE(dev.member_live(0));
+  EXPECT_TRUE(dev.member_live(1));
+  EXPECT_GT(dev.monitor(0).probes_sent(), 0u);
+  EXPECT_EQ(dev.monitor(0).trips(), 0u);
+
+  // Cut member 0's wire with traffic queued on it: the breaker must trip
+  // and the backlog must move to the survivor.
+  a.dead_ = true;
+  net::Packet p;
+  for (std::uint32_t s = 0; s < 40; ++s) {
+    p.seq = s;
+    dev.enqueue(p);
+  }
+  ASSERT_GT(a.queue_length(), 0u);
+  const std::uint64_t b_before_salvage = b.enqueued_;
+  sim.run_until(sim::milliseconds(200));
+  EXPECT_FALSE(dev.member_live(0));
+  EXPECT_TRUE(dev.member_live(1));
+  EXPECT_EQ(dev.monitor(0).trips(), 1u);
+  EXPECT_GT(dev.salvaged_packets(), 0u);
+  EXPECT_GE(b.enqueued_, b_before_salvage + dev.salvaged_packets());
+
+  // While tripped, new packets avoid the dead member entirely.
+  const std::uint64_t a_before = a.enqueued_;
+  const std::uint64_t b_before = b.enqueued_;
+  for (std::uint32_t s = 100; s < 150; ++s) {
+    p.seq = s;
+    dev.enqueue(p);
+  }
+  EXPECT_EQ(a.enqueued_, a_before);  // only reprobes may touch the dead pipe
+  EXPECT_EQ(b.enqueued_, b_before + 50);
+
+  // Wire restored: the breaker walks open -> half-open -> closed and the
+  // member rejoins the split.
+  a.dead_ = false;
+  sim.run_until(sim::milliseconds(500));
+  EXPECT_TRUE(dev.member_live(0));
+  EXPECT_GE(dev.monitor(0).recoveries(), 1u);
+
+  bool saw_open = false, saw_closed_after_open = false;
+  for (const auto& [m, s] : transitions) {
+    if (m != 0) continue;
+    if (s == fault::HealthMonitor::State::kOpen) saw_open = true;
+    if (saw_open && s == fault::HealthMonitor::State::kClosed) {
+      saw_closed_after_open = true;
+    }
+  }
+  EXPECT_TRUE(saw_open);
+  EXPECT_TRUE(saw_closed_after_open);
 }
 
 TEST(RoundRobinSplitter, AlternatesStrictly) {
