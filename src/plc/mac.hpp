@@ -118,6 +118,11 @@ class PlcMac final : public net::Interface {
                          sim::Time now);
 
   // --- Stats ---------------------------------------------------------------
+  /// Current IEEE 1901 deferral counter (the dc ladder of §2.2). Exposed for
+  /// the testkit's MAC invariants: the rule decrements it only while it is
+  /// positive (zero escalates the stage instead), so an observable value
+  /// below zero means the accounting is broken.
+  [[nodiscard]] int deferral_counter() const { return dc_; }
   [[nodiscard]] std::uint64_t frames_transmitted() const { return frames_tx_; }
   [[nodiscard]] std::uint64_t pb_retransmissions() const { return pb_retx_; }
   [[nodiscard]] std::uint64_t packets_dropped() const { return drops_; }

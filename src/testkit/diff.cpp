@@ -1,0 +1,198 @@
+#include "src/testkit/diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "src/plc/channel_estimator.hpp"
+#include "src/sim/rng.hpp"
+#include "src/testkit/reference.hpp"
+
+namespace efd::testkit {
+
+namespace {
+
+struct DiffAccum {
+  DiffResult r;
+
+  explicit DiffAccum(std::string what, double tolerance) {
+    r.what = std::move(what);
+    r.tolerance = tolerance;
+  }
+
+  void sample(double err, const char* fmt, auto... args) {
+    ++r.samples;
+    if (err > r.max_abs_err) {
+      r.max_abs_err = err;
+      char buf[192];
+      std::snprintf(buf, sizeof buf, fmt, args...);
+      r.worst_detail = buf;
+    }
+  }
+
+  DiffResult finish() {
+    r.ok = r.max_abs_err <= r.tolerance;
+    return r;
+  }
+};
+
+/// Directed unicast links with built tone maps: the state the run exercised.
+struct Link {
+  net::StationId tx;
+  net::StationId rx;
+  const plc::ChannelEstimator* est;
+};
+
+std::vector<Link> run_links(ScenarioWorld& world) {
+  std::vector<Link> links;
+  std::set<std::pair<net::StationId, net::StationId>> seen;
+  for (const Scenario::TrafficSpec& t : world.scenario().traffic) {
+    if (t.dst < 0) continue;
+    const auto& stations = world.scenario().stations;
+    const net::StationId tx = stations[static_cast<std::size_t>(t.src)].id;
+    const net::StationId rx = stations[static_cast<std::size_t>(t.dst)].id;
+    if (!seen.insert({tx, rx}).second) continue;
+    const plc::ChannelEstimator& est = world.network().estimator(rx, tx);
+    if (est.has_tone_maps()) links.push_back({tx, rx, &est});
+  }
+  return links;
+}
+
+DiffResult diff_db_conversions(ScenarioWorld& world, const DiffTolerances& tol) {
+  DiffAccum acc("db-conversions", tol.db_conversion_rel);
+  const CarrierMathImpl& fast = fast_impl();
+  const CarrierMathImpl& ref = reference_impl();
+  sim::Rng rng = sim::Rng{world.scenario().world_seed}.fork(0xd1ffu);
+  for (int i = 0; i < 256; ++i) {
+    const double db = rng.uniform(-120.0, 80.0);
+    const double f = fast.db_to_linear(db);
+    const double r = ref.db_to_linear(db);
+    acc.sample(std::abs(f - r) / std::max(std::abs(r), 1e-300),
+               "db_to_linear(%.6f): fast %.17g ref %.17g", db, f, r);
+    const double lin = ref.db_to_linear(rng.uniform(-120.0, 80.0));
+    const double fb = fast.linear_to_db(lin);
+    const double rb = ref.linear_to_db(lin);
+    acc.sample(std::abs(fb - rb) / std::max(std::abs(rb), 1e-12),
+               "linear_to_db(%.17g): fast %.12f ref %.12f", lin, fb, rb);
+  }
+  return acc.finish();
+}
+
+DiffResult diff_uncoded_ber(ScenarioWorld& world, const DiffTolerances& tol) {
+  DiffAccum acc("uncoded-ber-lut", tol.uncoded_ber_abs);
+  const CarrierMathImpl& fast = fast_impl();
+  const CarrierMathImpl& ref = reference_impl();
+  sim::Rng rng = sim::Rng{world.scenario().world_seed}.fork(0xbe4u);
+  for (int i = 0; i < 512; ++i) {
+    // Enumerator range: kBpsk (1) .. kQam1024 (7); kOff is trivially 0.
+    const auto m = static_cast<plc::Modulation>(rng.uniform_int(1, 7));
+    const double snr = rng.uniform(-85.0, 65.0);
+    const double f = fast.uncoded_ber(m, snr);
+    const double r = ref.uncoded_ber(m, snr);
+    acc.sample(std::abs(f - r), "mod %d @ %.3f dB: LUT %.8f exact %.8f",
+               static_cast<int>(m), snr, f, r);
+  }
+  return acc.finish();
+}
+
+DiffResult diff_static_snr(ScenarioWorld& world, const DiffTolerances& tol) {
+  DiffAccum acc("static-snr-cache", tol.static_snr_abs_db);
+  const plc::PlcChannel& ch = world.channel();
+  const plc::PhyParams& phy = ch.phy();
+  const sim::Time now = world.sim().now();
+  // The world channel's cache may have been filled earlier in the epoch
+  // (the slow drift term is continuous in t, so its entries differ from a
+  // recompute at `now` by the drift delta, legitimately). A cold-cache
+  // channel over the same grid builds its entries at exactly `now`, so the
+  // production assembly path (tx PSD - attenuation - noise, carrier by
+  // carrier) must match the naive recompute to rounding.
+  plc::PlcChannel cold(ch.grid(), phy);
+  for (const Scenario::StationSpec& st : world.scenario().stations) {
+    cold.attach_station(st.id, st.outlet);
+  }
+  for (const Link& l : run_links(world)) {
+    const int oa = ch.outlet(l.tx);
+    const int ob = ch.outlet(l.rx);
+    for (int slot = 0; slot < phy.tone_map_slots; ++slot) {
+      const std::vector<double>& cached = cold.static_snr_db(l.tx, l.rx, slot, now);
+      const std::vector<double> att =
+          ch.grid().attenuation_db(oa, ob, phy.band, now);
+      const std::vector<double> noise =
+          ch.grid().noise_psd_db(ob, phy.band, now, slot, phy.tone_map_slots);
+      for (std::size_t i = 0; i < cached.size(); ++i) {
+        const double fresh = phy.tx_psd_db - att[i] - noise[i];
+        acc.sample(std::abs(cached[i] - fresh),
+                   "link %d->%d slot %d carrier %zu: cached %.12f fresh %.12f",
+                   l.tx, l.rx, slot, i, cached[i], fresh);
+      }
+    }
+  }
+  return acc.finish();
+}
+
+DiffResult diff_pberr(ScenarioWorld& world, const DiffTolerances& tol) {
+  DiffAccum acc("pb-error-probability", tol.pberr_abs);
+  const plc::PlcChannel& ch = world.channel();
+  const sim::Time now = world.sim().now();
+  for (const Link& l : run_links(world)) {
+    const auto& maps = l.est->tone_maps();
+    // Replicate the production path's 0.25 dB offset quantization so the
+    // diff isolates LUT-vs-exact carrier math, not the documented
+    // quantization (which is part of the fast path's contract, bounded
+    // separately by construction).
+    const double offset = ch.fast_offset_db(l.rx, now);
+    const double off = std::lround(offset * 4.0) / 4.0;
+    int slot = 0;
+    for (const plc::ToneMap& tm : maps.slots) {
+      const double fast = ch.pb_error_probability(tm, l.tx, l.rx, slot, now);
+      std::vector<double> snr = ch.static_snr_db(l.tx, l.rx, slot, now);
+      for (double& v : snr) v -= off;
+      const double reps = tm.is_robo() ? tm.robo_repetitions() : 1;
+      const double refp = ref::pb_error_probability(
+          tm.carriers(), snr, static_cast<int>(reps), reference_impl());
+      acc.sample(std::abs(fast - refp),
+                 "link %d->%d slot %d map %u: fast %.8f ref %.8f", l.tx, l.rx,
+                 slot, tm.id(), fast, refp);
+      ++slot;
+    }
+  }
+  return acc.finish();
+}
+
+DiffResult diff_ble(ScenarioWorld& world, const DiffTolerances& tol) {
+  DiffAccum acc("ble-eq1", tol.ble_rel);
+  const plc::PhyParams& phy = world.channel().phy();
+  for (const Link& l : run_links(world)) {
+    auto compare = [&](const plc::ToneMap& tm, const char* kind) {
+      const double fast = tm.ble_mbps();
+      const double ref = ref::ble_mbps(tm, phy);
+      acc.sample(std::abs(fast - ref) / std::max(std::abs(ref), 1e-12),
+                 "link %d->%d %s map %u: cached %.12f recomputed %.12f", l.tx,
+                 l.rx, kind, tm.id(), fast, ref);
+    };
+    for (const plc::ToneMap& tm : l.est->tone_maps().slots) compare(tm, "slot");
+    compare(l.est->tone_maps().robo, "robo");
+  }
+  return acc.finish();
+}
+
+}  // namespace
+
+std::vector<DiffResult> run_diff(ScenarioWorld& world, const DiffTolerances& tol) {
+  return {
+      diff_db_conversions(world, tol), diff_uncoded_ber(world, tol),
+      diff_static_snr(world, tol),     diff_pberr(world, tol),
+      diff_ble(world, tol),
+  };
+}
+
+std::vector<DiffResult> diff_failures(const std::vector<DiffResult>& r) {
+  std::vector<DiffResult> out;
+  for (const DiffResult& d : r) {
+    if (!d.ok) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace efd::testkit

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/testkit/scenario.hpp"
+#include "src/testkit/world.hpp"
+
+namespace efd::testkit {
+
+/// One invariant violation: which checker fired and a human-readable detail
+/// that names the offending quantity (a failing proptest prints these next
+/// to the shrunk scenario).
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Deliberate-corruption hooks for the acceptance test of the harness
+/// itself: each hook simulates a specific bug class (a removed clamp, a
+/// broken Eq. (1) cache, an off-by-one in slot accounting) by perturbing the
+/// checked quantity *before* its invariant runs. With all hooks at their
+/// neutral values the checks see the production values unmodified. A test
+/// turns one hook on, asserts the corresponding invariant fires on an
+/// arbitrary scenario, and shrinks to a minimal reproducer.
+struct InvariantOptions {
+  /// Added to every PB error probability before the [0, 1] range check
+  /// (simulates pb_error_probability losing its clamp).
+  double inject_pberr_offset = 0.0;
+  /// Multiplies the recomputed Eq. (1) BLE before comparing against the
+  /// tone map's cached value (simulates a stale recompute() cache).
+  double inject_ble_scale = 1.0;
+  /// Shifts every recorded SoF start earlier by this much before the
+  /// airtime-conservation check (simulates broken CSMA slot accounting).
+  sim::Time inject_airtime_shift{};
+  /// Subtracted from every sampled deferral counter before the
+  /// non-negativity check (simulates a double decrement).
+  int inject_dc_offset = 0;
+};
+
+/// Run every checker against a completed scenario run. `world` must be the
+/// world that produced `trace` (the estimator / channel state it holds is
+/// part of what is checked).
+[[nodiscard]] std::vector<Violation> check_invariants(ScenarioWorld& world,
+                                                      const RunTrace& trace,
+                                                      const InvariantOptions& opts = {});
+
+/// The hybrid-layer fuzz checks (ReorderBuffer in-order/no-dup delivery and
+/// conservation, scheduler load conservation and round-robin fallback) run
+/// against the scenario's HybridFuzz parameters in their own simulator —
+/// they do not need the PLC world.
+[[nodiscard]] std::vector<Violation> check_hybrid_invariants(const Scenario& s);
+
+/// Names of all checkers, for documentation / reporting.
+[[nodiscard]] std::vector<std::string> invariant_names();
+
+}  // namespace efd::testkit

@@ -1,0 +1,91 @@
+#include "src/testkit/reference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/grid/db_units.hpp"
+
+namespace efd::testkit {
+
+namespace {
+
+double ref_db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double ref_linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+}  // namespace
+
+const CarrierMathImpl& fast_impl() {
+  static const CarrierMathImpl impl{
+      "fast",
+      &grid::db_to_linear,
+      &grid::linear_to_db,
+      &plc::uncoded_ber,
+  };
+  return impl;
+}
+
+const CarrierMathImpl& reference_impl() {
+  static const CarrierMathImpl impl{
+      "reference",
+      &ref_db_to_linear,
+      &ref_linear_to_db,
+      &plc::uncoded_ber_exact,
+  };
+  return impl;
+}
+
+namespace ref {
+
+namespace {
+/// Coding gain of the rate-16/21 turbo code (tone_map.cpp's kCodingGainDb).
+constexpr double kCodingGainDb = 7.0;
+}  // namespace
+
+double fec_waterfall(double mean_ber) {
+  if (mean_ber <= 0.0) return 0.0;
+  const double x = std::log10(mean_ber);
+  return 1.0 / (1.0 + std::exp(-6.0 * (x + 2.7)));
+}
+
+double pb_error_probability(std::span<const plc::Modulation> carriers,
+                            std::span<const double> actual_snr_db,
+                            int robo_repetitions, const CarrierMathImpl& impl) {
+  assert(carriers.size() == actual_snr_db.size());
+  if (robo_repetitions > 1) {
+    double mean_linear = 0.0;
+    for (double snr : actual_snr_db) mean_linear += impl.db_to_linear(snr);
+    mean_linear /= static_cast<double>(actual_snr_db.size());
+    const double combined_db =
+        impl.linear_to_db(robo_repetitions * std::max(1e-6, mean_linear));
+    const double ber =
+        impl.uncoded_ber(plc::Modulation::kQpsk, combined_db + kCodingGainDb);
+    return fec_waterfall(ber);
+  }
+  double weighted_ber = 0.0;
+  double total_bits = 0.0;
+  for (std::size_t i = 0; i < carriers.size(); ++i) {
+    const int b = plc::bits_per_symbol(carriers[i]);
+    if (b == 0) continue;
+    weighted_ber += impl.uncoded_ber(carriers[i], actual_snr_db[i] + kCodingGainDb) * b;
+    total_bits += b;
+  }
+  if (total_bits == 0.0) return 1.0;
+  return fec_waterfall(weighted_ber / total_bits);
+}
+
+double ble_mbps(const plc::ToneMap& tm, const plc::PhyParams& phy) {
+  double bits = 0.0;
+  for (plc::Modulation m : tm.carriers()) {
+    bits += plc::bits_per_symbol(m);
+  }
+  bits /= tm.robo_repetitions();
+  const double fec_rate = tm.is_robo() ? 0.5 : phy.fec_rate;
+  const double phy_rate = bits * fec_rate / phy.symbol.us();
+  return phy_rate * (1.0 - tm.expected_pberr());
+}
+
+}  // namespace ref
+
+}  // namespace efd::testkit

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+
+#include "src/plc/modulation.hpp"
+#include "src/plc/phy.hpp"
+#include "src/plc/tone_map.hpp"
+
+namespace efd::testkit {
+
+/// One interchangeable set of carrier-domain math kernels. Two instances
+/// exist: `fast_impl()` routes through the production exp2/log2 conversions
+/// and the BER lookup table (PR 1's fast paths); `reference_impl()` is the
+/// naive pow(10,x/10) / 10*log10 / closed-form-erfc formulation. Selection
+/// is a runtime function-pointer table — no #ifdef, both variants live in
+/// every binary — so the DiffRunner can execute the same scenario through
+/// both and bound their disagreement.
+struct CarrierMathImpl {
+  const char* name;
+  double (*db_to_linear)(double db);
+  double (*linear_to_db)(double linear);
+  double (*uncoded_ber)(plc::Modulation m, double snr_db);
+};
+
+[[nodiscard]] const CarrierMathImpl& fast_impl();
+[[nodiscard]] const CarrierMathImpl& reference_impl();
+
+namespace ref {
+
+/// The turbo-FEC waterfall of tone_map.cpp, reproduced from its documented
+/// definition: p = logistic(6 * (log10(ber) + 2.7)).
+[[nodiscard]] double fec_waterfall(double mean_ber);
+
+/// PB error probability of a per-carrier modulation assignment against the
+/// actual per-carrier SNR — an independent reimplementation of
+/// ToneMap::pb_error_probability with the carrier math supplied by `impl`
+/// (pass `reference_impl()` for the all-double-precision recompute).
+/// `robo_repetitions > 1` activates the ROBO linear-SNR-mean combining.
+[[nodiscard]] double pb_error_probability(std::span<const plc::Modulation> carriers,
+                                          std::span<const double> actual_snr_db,
+                                          int robo_repetitions,
+                                          const CarrierMathImpl& impl);
+
+/// Eq. (1) recomputed from first principles off a tone map's public
+/// surface: BLE = B * R * (1 - PBerr) / Tsym, with B summed over the
+/// carrier constellations, R the FEC rate (16/21 data, 1/2 ROBO) and Tsym
+/// from the PHY parameters. Disagrees with ToneMap::ble_mbps() only if the
+/// tone map's cached derived quantities are corrupt.
+[[nodiscard]] double ble_mbps(const plc::ToneMap& tm, const plc::PhyParams& phy);
+
+}  // namespace ref
+
+}  // namespace efd::testkit

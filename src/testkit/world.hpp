@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/grid/power_grid.hpp"
+#include "src/net/sources.hpp"
+#include "src/plc/network.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/testkit/scenario.hpp"
+
+namespace efd::testkit {
+
+/// One packet handed to the app layer at a receiving station.
+struct DeliveredPacket {
+  net::StationId at = 0;
+  int flow_id = 0;
+  std::uint32_t seq = 0;
+  sim::Time when;
+};
+
+/// Everything observable a scenario run produced, in a canonical order, so
+/// two same-seed runs can be compared byte-for-byte via `digest()`.
+struct RunTrace {
+  std::vector<plc::SofRecord> sofs;
+  std::vector<DeliveredPacket> delivered;
+  /// IEEE 1901 deferral-counter samples: every registered MAC, sampled at
+  /// every sniffed SoF (the invariant layer asserts they never go negative).
+  std::vector<int> dc_samples;
+  std::uint64_t offered = 0;          ///< packets emitted by all sources
+  /// Packets each traffic flow emitted, indexed by flow id (= position in
+  /// Scenario::traffic); the delivery-conservation invariant bounds
+  /// deliveries per flow by this.
+  std::vector<std::uint64_t> offered_per_flow;
+  std::uint64_t collisions = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t beacons = 0;
+  /// mm_average_ble / mm_pberr per traffic flow's directed link, queried
+  /// once after the run (part of the determinism surface).
+  std::vector<double> link_ble_mbps;
+  std::vector<double> link_pberr;
+
+  /// FNV-1a over every field above, doubles hashed by bit pattern: equal
+  /// digests <=> byte-identical observable traces.
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// Materializes a Scenario: grid -> channel -> network -> stations ->
+/// sources, with a sniffer recording every SoF and per-station rx handlers
+/// recording deliveries. The world borrows a Simulator so proptest sweeps
+/// can reuse one engine per worker (testbed::ParallelRunner::map_with_sim).
+class ScenarioWorld {
+ public:
+  ScenarioWorld(const Scenario& scenario, sim::Simulator& sim);
+  ScenarioWorld(const ScenarioWorld&) = delete;
+  ScenarioWorld& operator=(const ScenarioWorld&) = delete;
+  ~ScenarioWorld();
+
+  /// Run traffic from the scenario's start to start + duration (plus a
+  /// short drain window) and return the trace. Call at most once.
+  RunTrace run();
+
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+  [[nodiscard]] const grid::PowerGrid& grid() const { return grid_; }
+  [[nodiscard]] const plc::PlcChannel& channel() const { return *channel_; }
+  [[nodiscard]] plc::PlcNetwork& network() { return *network_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+
+ private:
+  Scenario scenario_;
+  sim::Simulator& sim_;
+  grid::PowerGrid grid_;
+  std::unique_ptr<plc::PlcChannel> channel_;
+  std::unique_ptr<plc::PlcNetwork> network_;
+  std::vector<std::unique_ptr<net::UdpSource>> udp_sources_;
+  std::vector<std::unique_ptr<net::ProbeSource>> probe_sources_;
+  /// Per flow id: which source vector holds it ({is_udp, index}), so the
+  /// per-flow offered counters can be collected in flow order after the run.
+  std::vector<std::pair<bool, std::size_t>> flow_source_;
+  plc::PlcMedium::SnifferId sniffer_ = 0;
+  bool sniffer_added_ = false;
+  RunTrace trace_;
+};
+
+}  // namespace efd::testkit

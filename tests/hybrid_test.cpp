@@ -227,6 +227,97 @@ TEST(ReorderBuffer, HandlesBurstLossOverflow) {
   EXPECT_GT(out.size(), 16u);
 }
 
+TEST(ReorderBuffer, StragglerExactlyAtGapTimeoutBoundaryIsDropped) {
+  // Razor's edge of the gap timeout: the missing packet arrives at the
+  // very instant the hold expires. The timeout event was armed when the
+  // gap started blocking, so at the shared timestamp it is already in the
+  // queue and fires first — the gap is abandoned, delivery skips ahead,
+  // and the boundary packet is a straggler, not a rescue. One-nanosecond
+  // earlier arrivals (tested below) are rescued instead.
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::milliseconds(10);
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); },
+                   cfg);
+  net::Packet p;
+  p.seq = 0;
+  rb.on_packet(p, sim.now());
+  sim.run_until(sim::milliseconds(11));  // warm-up elapsed, 0 delivered
+  ASSERT_EQ(out, (std::vector<std::uint32_t>{0}));
+  p.seq = 2;  // gap at 1 starts blocking now
+  rb.on_packet(p, sim.now());
+  const sim::Time boundary = sim.now() + cfg.hold_timeout;
+  sim.run_until(boundary);  // the hold expires exactly now: 2 released
+  ASSERT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(rb.timeouts(), 1u);
+  p.seq = 1;  // arrives at the boundary instant, after the timeout fired
+  rb.on_packet(p, sim.now());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(rb.stragglers_dropped(), 1u);
+  EXPECT_EQ(rb.buffered(), 0u);
+}
+
+TEST(ReorderBuffer, ArrivalOneTickBeforeGapTimeoutIsRescued) {
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::milliseconds(10);
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); },
+                   cfg);
+  net::Packet p;
+  p.seq = 0;
+  rb.on_packet(p, sim.now());
+  sim.run_until(sim::milliseconds(11));
+  p.seq = 2;
+  rb.on_packet(p, sim.now());
+  const sim::Time boundary = sim.now() + cfg.hold_timeout;
+  sim.run_until(boundary - sim::Time{1});  // 1 ns before the hold expires
+  p.seq = 1;
+  rb.on_packet(p, sim.now());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(rb.timeouts(), 0u);
+  EXPECT_EQ(rb.stragglers_dropped(), 0u);
+  sim.run_until(boundary + sim::milliseconds(5));  // stale timer is harmless
+  EXPECT_EQ(rb.timeouts(), 0u);
+}
+
+TEST(ReorderBuffer, ClearMidGapCancelsTimerAndSupportsReuse) {
+  // Adapter reset while a gap is actively blocking: the armed hold timer
+  // must die with the buffered packets (no ghost timeout against the next
+  // flow), counters survive, and the buffer relocks cleanly on reuse.
+  sim::Simulator sim;
+  std::vector<std::uint32_t> out;
+  ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::milliseconds(10);
+  ReorderBuffer rb(sim, [&](const net::Packet& p, sim::Time) { out.push_back(p.seq); },
+                   cfg);
+  net::Packet p;
+  p.seq = 0;
+  rb.on_packet(p, sim.now());
+  sim.run_until(sim::milliseconds(11));  // locked, 0 delivered
+  p.seq = 2;
+  rb.on_packet(p, sim.now());  // gap at 1: blocked, timer armed
+  p.seq = 1;                   // deliberate straggler bump pre-reset
+  sim.run_until(sim::milliseconds(13));
+  rb.clear();                  // reset mid-gap, timer pending
+  EXPECT_EQ(rb.buffered(), 0u);
+  sim.run_until(sim::milliseconds(40));  // past the would-be timeout
+  EXPECT_EQ(rb.timeouts(), 0u);          // cancelled timer never fired
+  ASSERT_EQ(out, (std::vector<std::uint32_t>{0}));
+
+  // Reuse: a new flow, lower sequence range than the pre-reset one. Without
+  // the next_seq_ reset it would all be misclassified as stragglers.
+  for (std::uint32_t s : {0u, 2u, 1u}) {
+    p.seq = s;
+    rb.on_packet(p, sim.now());
+  }
+  sim.run_until(sim::milliseconds(80));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 0, 1, 2}));
+  EXPECT_EQ(rb.buffered(), 0u);
+  EXPECT_EQ(rb.stragglers_dropped(), 0u);
+}
+
 TEST(HybridDevice, AggregatesTwoPipes) {
   sim::Simulator sim;
   PipeInterface fast(sim, sim::milliseconds(2));

@@ -1,0 +1,52 @@
+// Determinism gate (ctest label `proptest`): the combined digest of a sweep
+// is a pure function of (seed, n) — independent of worker count, scheduling
+// and reruns. This is the property the figure benches rely on for their
+// byte-identical baselines, asserted here over randomized scenarios instead
+// of the fixed Fig. 2 testbed.
+#include <gtest/gtest.h>
+
+#include "src/testkit/proptest.hpp"
+#include "src/testkit/scenario.hpp"
+#include "src/testkit/world.hpp"
+
+namespace efd::testkit {
+namespace {
+
+TEST(ProptestDeterminism, CombinedDigestIndependentOfWorkerCount) {
+  ProptestOptions one;
+  one.threads = 1;
+  ProptestOptions four;
+  four.threads = 4;
+  const auto a = run_proptest(1111, 16, one);
+  const auto b = run_proptest(1111, 16, four);
+  EXPECT_TRUE(a.ok()) << a.summary();
+  EXPECT_TRUE(b.ok()) << b.summary();
+  EXPECT_EQ(a.combined_digest, b.combined_digest);
+}
+
+TEST(ProptestDeterminism, SameSeedRunsAreByteIdentical) {
+  // check_scenario already replays every scenario twice on a reset engine
+  // and compares digests; this asserts the end-to-end surface once more at
+  // the report level across independent invocations.
+  const auto a = run_proptest(97, 8);
+  const auto b = run_proptest(97, 8);
+  EXPECT_TRUE(a.ok()) << a.summary();
+  EXPECT_EQ(a.combined_digest, b.combined_digest);
+}
+
+TEST(ProptestDeterminism, WorldRunsAreReplayableScenarioByScenario) {
+  ScenarioGen gen(5150);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const Scenario s = gen.generate(i);
+    sim::Simulator sim_a;
+    ScenarioWorld wa(s, sim_a);
+    const std::uint64_t da = wa.run().digest();
+    sim::Simulator sim_b;
+    ScenarioWorld wb(s, sim_b);
+    const std::uint64_t db = wb.run().digest();
+    EXPECT_EQ(da, db) << "scenario " << i << ":\n" << s.describe();
+  }
+}
+
+}  // namespace
+}  // namespace efd::testkit

@@ -1,0 +1,162 @@
+// Generator and shrinker unit tests: structural validity of drawn
+// scenarios, purity of generate(), and shrinking against cheap synthetic
+// predicates. The expensive full-gauntlet sweeps live in proptest_sweep_test
+// and proptest_determinism_test (ctest label `proptest`).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/testkit/invariants.hpp"
+#include "src/testkit/proptest.hpp"
+#include "src/testkit/scenario.hpp"
+#include "src/testkit/world.hpp"
+
+namespace efd::testkit {
+namespace {
+
+TEST(ScenarioGen, GenerateIsPureFunctionOfSeedAndIndex) {
+  ScenarioGen a(123);
+  ScenarioGen b(123);
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(a.generate(i).describe(), b.generate(i).describe()) << "index " << i;
+  }
+}
+
+TEST(ScenarioGen, DistinctIndicesGiveDistinctScenarios) {
+  ScenarioGen gen(99);
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    seen.insert(gen.generate(i).describe());
+  }
+  // A collision would mean the index is not actually feeding the stream.
+  EXPECT_GE(seen.size(), 24u);
+}
+
+TEST(ScenarioGen, DrawnScenariosAreStructurallyValid) {
+  ScenarioGen gen(7);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Scenario s = gen.generate(i);
+    EXPECT_GE(s.n_outlets, 2);
+    for (const Scenario::Cable& c : s.cables) {
+      EXPECT_GE(c.a, 0);
+      EXPECT_LT(c.a, s.n_outlets);
+      EXPECT_GE(c.b, 0);
+      EXPECT_LT(c.b, s.n_outlets);
+      EXPECT_GT(c.length_m, 0.0);
+    }
+    for (const Scenario::ApplianceSpec& a : s.appliances) {
+      EXPECT_GE(a.outlet, 0);
+      EXPECT_LT(a.outlet, s.n_outlets);
+    }
+    std::set<net::StationId> ids;
+    for (const Scenario::StationSpec& st : s.stations) {
+      EXPECT_GE(st.outlet, 0);
+      EXPECT_LT(st.outlet, s.n_outlets);
+      EXPECT_TRUE(ids.insert(st.id).second) << "duplicate station id";
+    }
+    EXPECT_GE(s.stations.size(), 2u);
+    EXPECT_FALSE(s.traffic.empty());
+    for (const Scenario::TrafficSpec& t : s.traffic) {
+      EXPECT_GE(t.src, 0);
+      EXPECT_LT(t.src, static_cast<int>(s.stations.size()));
+      EXPECT_LT(t.dst, static_cast<int>(s.stations.size()));
+      EXPECT_NE(t.src, t.dst);
+    }
+    EXPECT_EQ(s.hybrid.capacities_mbps.size(),
+              static_cast<std::size_t>(s.hybrid.n_interfaces));
+    EXPECT_GE(s.tone_map_slots, 2);
+    EXPECT_GT(s.duration_s, 0.0);
+  }
+}
+
+TEST(ScenarioShrink, CandidatesAreStrictlySimpler) {
+  ScenarioGen gen(31);
+  const Scenario s = gen.generate(2);
+  for (const Scenario& c : shrink_candidates(s)) {
+    const bool simpler =
+        c.appliances.size() < s.appliances.size() ||
+        c.traffic.size() < s.traffic.size() ||
+        c.stations.size() < s.stations.size() || c.n_outlets < s.n_outlets ||
+        c.duration_s < s.duration_s ||
+        (s.fault_pb_error > 0.0 && c.fault_pb_error == 0.0) ||
+        (s.beacons && !c.beacons) ||
+        c.hybrid.n_packets < s.hybrid.n_packets;
+    EXPECT_TRUE(simpler);
+  }
+}
+
+TEST(ScenarioShrink, GreedyShrinkReachesMinimalOutletCount) {
+  // Synthetic predicate: "fails" whenever the grid still has >= 3 outlets.
+  // The shrinker must walk the outlet-collapse ladder down to exactly 3.
+  ScenarioGen gen(5);
+  Scenario s = gen.generate(1);
+  while (s.n_outlets < 4) s = gen.generate(s.index + 7);
+  const Scenario minimal =
+      shrink(s, [](const Scenario& c) { return c.n_outlets >= 3; });
+  EXPECT_EQ(minimal.n_outlets, 3);
+}
+
+TEST(ScenarioShrink, ShrunkScenarioStillBuildsAWorld) {
+  ScenarioGen gen(11);
+  const Scenario minimal = shrink(
+      gen.generate(0), [](const Scenario& c) { return !c.traffic.empty(); });
+  sim::Simulator sim;
+  ScenarioWorld world(minimal, sim);
+  const RunTrace trace = world.run();
+  EXPECT_EQ(trace.digest(), trace.digest());
+}
+
+TEST(Invariants, NamesCoverAllFifteenCheckers) {
+  EXPECT_EQ(invariant_names().size(), 15u);
+}
+
+TEST(Invariants, CleanScenarioHasNoViolations) {
+  ScenarioGen gen(3);
+  const Scenario s = gen.generate(0);
+  sim::Simulator sim;
+  ScenarioWorld world(s, sim);
+  const RunTrace trace = world.run();
+  const auto violations = check_invariants(world, trace);
+  EXPECT_TRUE(violations.empty())
+      << violations.front().invariant << ": " << violations.front().detail;
+  const auto hybrid = check_hybrid_invariants(s);
+  EXPECT_TRUE(hybrid.empty())
+      << hybrid.front().invariant << ": " << hybrid.front().detail;
+}
+
+TEST(Invariants, CorruptionHooksTripTheirCheckers) {
+  // Each hook simulates one bug class; its designated invariant (and only
+  // a related one) must fire on an otherwise clean scenario.
+  ScenarioGen gen(3);
+  const Scenario s = gen.generate(0);
+  sim::Simulator sim;
+  ScenarioWorld world(s, sim);
+  const RunTrace trace = world.run();
+
+  InvariantOptions pberr;
+  pberr.inject_pberr_offset = 1.5;
+  bool saw_pberr = false;
+  for (const Violation& v : check_invariants(world, trace, pberr)) {
+    saw_pberr |= v.invariant == "pberr-range";
+  }
+  EXPECT_TRUE(saw_pberr);
+
+  InvariantOptions ble;
+  ble.inject_ble_scale = 0.5;
+  bool saw_ble = false;
+  for (const Violation& v : check_invariants(world, trace, ble)) {
+    saw_ble |= v.invariant == "ble-eq1";
+  }
+  EXPECT_TRUE(saw_ble);
+
+  InvariantOptions dc;
+  dc.inject_dc_offset = 100;
+  bool saw_dc = false;
+  for (const Violation& v : check_invariants(world, trace, dc)) {
+    saw_dc |= v.invariant == "deferral-counter";
+  }
+  EXPECT_TRUE(saw_dc);
+}
+
+}  // namespace
+}  // namespace efd::testkit

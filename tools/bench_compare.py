@@ -40,8 +40,36 @@ def load(path):
         sys.exit(2)
 
 
-def metric_map(doc):
-    return {m["name"]: m["value"] for m in doc.get("metrics", [])}
+def metric_map(doc, path):
+    """Name -> value map of the doc's metrics array.
+
+    Bench writers evolve: tolerate documents whose "metrics" is missing or
+    malformed instead of tracebacking mid-CI. A structurally wrong document
+    is a usage error (exit 2, like an unreadable file); individual entries
+    missing "name"/"value" are skipped with a warning so one bad metric
+    cannot mask the comparison of every other one.
+    """
+    metrics = doc.get("metrics", [])
+    if not isinstance(metrics, list):
+        print(f"bench_compare: {path}: 'metrics' must be an array, got "
+              f"{type(metrics).__name__}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for i, m in enumerate(metrics):
+        if not isinstance(m, dict) or "name" not in m:
+            print(f"bench_compare: {path}: metrics[{i}] has no 'name'; skipped",
+                  file=sys.stderr)
+            continue
+        if "value" not in m:
+            print(f"bench_compare: {path}: metric '{m['name']}' has no 'value';"
+                  " skipped", file=sys.stderr)
+            continue
+        out[m["name"]] = m["value"]
+    return out
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
 def main():
@@ -57,7 +85,7 @@ def main():
     args = ap.parse_args()
 
     cur, base = load(args.current), load(args.baseline)
-    cur_m, base_m = metric_map(cur), metric_map(base)
+    cur_m, base_m = metric_map(cur, args.current), metric_map(base, args.baseline)
     failures = []
 
     # --- shape: exact equality with the baseline --------------------------
@@ -81,7 +109,7 @@ def main():
         if args.skip_perf:
             print(f"  --  {name:32s} skipped (--skip-perf)")
             continue
-        if got is None or want is None or want == 0:
+        if not is_number(got) or not is_number(want) or want == 0:
             print(f"  --  {name:32s} no comparable baseline value")
             continue
         if name in LOWER_IS_BETTER:

@@ -10,12 +10,15 @@
 //   efd sniff <src> <dst> <seconds>   SoF capture under saturation, CSV
 //   efd route <src> <dst>             min-ETT hybrid route
 //   efd guidelines                    the paper's Table 3
+//   efd --proptest <seed> <n>         property-based scenario sweep
 //
 // A leading --metrics flag dumps the efd::obs metrics snapshot (counters,
 // gauges, histograms accumulated by the command's simulation) as JSON to
 // stderr after the command output, so CSV/stdout pipelines stay clean:
 //   efd --metrics stat 0 5 2>metrics.json
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -30,6 +33,7 @@
 #include "src/hybrid/routing.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/testbed/experiment.hpp"
+#include "src/testkit/proptest.hpp"
 
 using namespace efd;
 
@@ -39,6 +43,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: efd [--metrics] <survey [--night] | rate S D | stat S D | "
                "trace S D SECS | sniff S D SECS | route S D | guidelines>\n"
+               "       efd --proptest <seed> <n>   randomized scenario sweep "
+               "(invariants + diff + determinism)\n"
                "stations: 0-18 (0-11 on network B1, 12-18 on B2)\n"
                "--metrics: dump the efd::obs snapshot as JSON to stderr\n");
   return 2;
@@ -185,9 +191,22 @@ int cmd_guidelines() {
   return 0;
 }
 
+int cmd_proptest(std::uint64_t seed, int n) {
+  const auto report = testkit::run_proptest(seed, n);
+  std::printf("%s\n", report.summary().c_str());
+  return report.ok() ? 0 : 1;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--proptest" || cmd == "proptest") {
+    if (argc < 4) return usage();
+    const long long seed = std::atoll(argv[2]);
+    const int n = std::atoi(argv[3]);
+    if (seed < 0 || n <= 0 || n > 1000000) return usage();
+    return cmd_proptest(static_cast<std::uint64_t>(seed), n);
+  }
   const auto station_args = [&](int needed) {
     return argc >= 2 + needed;
   };

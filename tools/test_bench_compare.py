@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py, run from ctest (tier1 label).
+
+Each case shells out to the real script — the exit-status contract
+(0 pass / 1 budget failure / 2 usage-or-structure error) is exactly what CI
+consumes, so that is the surface under test.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def doc(metrics, wall_clock_s=2.0):
+    return {"wall_clock_s": wall_clock_s, "metrics": metrics}
+
+
+def metric(name, value):
+    return {"name": name, "value": value}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_compare(self, cur, base, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, cur, base, *extra],
+            capture_output=True, text=True, check=False)
+
+    def test_identical_docs_pass(self):
+        d = doc([metric("median_mbps", 87.5),
+                 metric("sim_events_per_sec", 1.0e6)])
+        r = self.run_compare(self.write("cur.json", d),
+                             self.write("base.json", d))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_shape_drift_fails(self):
+        base = doc([metric("median_mbps", 87.5)])
+        cur = doc([metric("median_mbps", 87.6)])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("drifted", r.stderr)
+
+    def test_missing_shape_metric_fails(self):
+        base = doc([metric("median_mbps", 87.5)])
+        cur = doc([])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing", r.stderr)
+
+    def test_metrics_as_dict_is_structure_error(self):
+        # A bench writer regression turning the array into an object must be
+        # a clear exit-2 diagnosis, not a TypeError traceback.
+        base = doc([metric("median_mbps", 87.5)])
+        cur = dict(doc([]), metrics={"median_mbps": 87.5})
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("must be an array", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_valueless_metric_entry_is_skipped_not_crash(self):
+        base = doc([metric("median_mbps", 87.5), {"name": "half_done"}])
+        cur = doc([metric("median_mbps", 87.5), {"not_a_name": 1}])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("skipped", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_valueless_entry_in_current_still_counts_as_missing(self):
+        base = doc([metric("median_mbps", 87.5)])
+        cur = doc([{"name": "median_mbps"}])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing", r.stderr)
+
+    def test_non_numeric_perf_value_is_not_comparable(self):
+        base = doc([metric("sim_events_per_sec", "fast")], wall_clock_s="n/a")
+        cur = doc([metric("sim_events_per_sec", 1.0e6)])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("no comparable baseline value", r.stdout)
+
+    def test_missing_perf_key_is_not_comparable(self):
+        # No sim_events_per_sec / wall_clock_s anywhere: perf silently waived.
+        base = doc([metric("median_mbps", 87.5)], wall_clock_s=None)
+        cur = doc([metric("median_mbps", 87.5)], wall_clock_s=None)
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_perf_regression_fails_and_skip_perf_waives_it(self):
+        base = doc([metric("sim_events_per_sec", 1.0e6)], wall_clock_s=1.0)
+        cur = doc([metric("sim_events_per_sec", 0.5e6)], wall_clock_s=2.0)
+        cur_p = self.write("cur.json", cur)
+        base_p = self.write("base.json", base)
+        self.assertEqual(self.run_compare(cur_p, base_p).returncode, 1)
+        self.assertEqual(
+            self.run_compare(cur_p, base_p, "--skip-perf").returncode, 0)
+
+    def test_perf_improvement_passes(self):
+        base = doc([metric("sim_events_per_sec", 1.0e6)], wall_clock_s=2.0)
+        cur = doc([metric("sim_events_per_sec", 2.0e6)], wall_clock_s=1.0)
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_unreadable_file_is_usage_error(self):
+        base = self.write("base.json", doc([]))
+        r = self.run_compare(os.path.join(self.tmp.name, "absent.json"), base)
+        self.assertEqual(r.returncode, 2)
+
+    def test_invalid_json_is_usage_error(self):
+        base = self.write("base.json", doc([]))
+        cur = self.write("cur.json", "{not json")
+        r = self.run_compare(cur, base)
+        self.assertEqual(r.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
