@@ -3,16 +3,20 @@
 // the channel cache, the tone-map builder, or the event queue.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "src/fault/fault.hpp"
 #include "src/fault/injector.hpp"
 #include "src/grid/appliance.hpp"
 #include "src/grid/carrier_workspace.hpp"
+#include "src/grid/simd.hpp"
+#include "src/sim/rng.hpp"
 #include "src/hybrid/device.hpp"
 #include "src/obs/obs.hpp"
 #include "src/plc/channel.hpp"
@@ -454,6 +458,98 @@ void BM_EstimatorFrameUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimatorFrameUpdate);
+
+// --- per-kernel dispatch-table benchmarks ----------------------------------
+// One benchmark per (kernel, implementation, carrier count), registered
+// dynamically because the implementation list depends on the host CPU. Names
+// follow "kernel/<kernel>/<impl>/<n>"; tools/bench_compare.py --gbench turns
+// the scalar-vs-vector time ratio per (kernel, n) into a host-independent
+// speedup gate.
+const bool kKernelBenchesRegistered = [] {
+  static sim::Rng rng{0xbe9c4ULL};
+  for (const grid::simd::CarrierKernels* kp : grid::simd::available_kernels()) {
+    const grid::simd::CarrierKernels& k = *kp;
+    for (const std::size_t n : {std::size_t{917}, std::size_t{2232}}) {
+      const auto name = [&](const char* kernel) {
+        return std::string("kernel/") + kernel + "/" + k.name + "/" +
+               std::to_string(n);
+      };
+      auto db = std::make_shared<std::vector<double>>(n);
+      auto lin = std::make_shared<std::vector<double>>(n);
+      auto out = std::make_shared<std::vector<double>>(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        (*db)[i] = rng.uniform(-60.0, 50.0);
+        (*lin)[i] = std::pow(10.0, (*db)[i] / 10.0);
+      }
+      benchmark::RegisterBenchmark(
+          name("db_to_linear").c_str(), [&k, db, out, n](benchmark::State& state) {
+            for (auto _ : state) {
+              k.db_to_linear_n(db->data(), out->data(), n);
+              benchmark::DoNotOptimize(out->data());
+            }
+          });
+      benchmark::RegisterBenchmark(
+          name("linear_to_db").c_str(), [&k, lin, out, n](benchmark::State& state) {
+            for (auto _ : state) {
+              k.linear_to_db_n(lin->data(), out->data(), n);
+              benchmark::DoNotOptimize(out->data());
+            }
+          });
+      benchmark::RegisterBenchmark(
+          name("attenuation").c_str(), [&k, db, lin, out, n](benchmark::State& state) {
+            // The attenuation assembly pair: affine base + one notch pass.
+            for (auto _ : state) {
+              k.affine_n(12.5, 0.036, db->data(), out->data(), n);
+              k.accumulate_notch_n(0.4, 6.5, lin->data(), out->data(), n);
+              benchmark::DoNotOptimize(out->data());
+            }
+          });
+      benchmark::RegisterBenchmark(
+          name("noise_sum").c_str(), [&k, lin, out, n](benchmark::State& state) {
+            // Noise accumulation + dB conversion (the noise_psd_into pair).
+            for (auto _ : state) {
+              k.accumulate_scaled_n(0.21, lin->data(), out->data(), n);
+              k.linear_to_db_n(lin->data(), out->data(), n);
+              benchmark::DoNotOptimize(out->data());
+            }
+          });
+      benchmark::RegisterBenchmark(
+          name("snr_assemble").c_str(), [&k, db, lin, out, n](benchmark::State& state) {
+            for (auto _ : state) {
+              k.assemble_snr_n(-50.0, db->data(), lin->data(), out->data(), n);
+              benchmark::DoNotOptimize(out->data());
+            }
+          });
+      benchmark::RegisterBenchmark(
+          name("robo_sum").c_str(), [&k, db, n](benchmark::State& state) {
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(k.sum_db_to_linear_n(db->data(), n));
+            }
+          });
+      auto rows = std::make_shared<std::vector<std::int32_t>>(n);
+      auto bits = std::make_shared<std::vector<double>>(n);
+      const grid::simd::InterpTableView lut = plc::ber_lut_view();
+      for (std::size_t i = 0; i < n; ++i) {
+        const int m = rng.uniform_int(0, plc::kModulationCount - 1);
+        (*rows)[i] = m * lut.size;
+        (*bits)[i] =
+            static_cast<double>(plc::kBitsPerSymbol[static_cast<std::size_t>(m)]);
+      }
+      benchmark::RegisterBenchmark(
+          name("ber_reduce").c_str(),
+          [&k, rows, bits, db, lut, n](benchmark::State& state) {
+            double wb = 0.0, tb = 0.0;
+            for (auto _ : state) {
+              k.ber_weighted_sum_n(lut, rows->data(), bits->data(), db->data(),
+                                   7.0, n, &wb, &tb);
+              benchmark::DoNotOptimize(wb);
+              benchmark::DoNotOptimize(tb);
+            }
+          });
+    }
+  }
+  return true;
+}();
 
 }  // namespace
 

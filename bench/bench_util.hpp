@@ -16,6 +16,7 @@
 #include "src/core/capacity.hpp"
 #include "src/core/sampler.hpp"
 #include "src/core/sof_capture.hpp"
+#include "src/grid/simd.hpp"
 #include "src/net/meters.hpp"
 #include "src/net/sources.hpp"
 #include "src/obs/obs.hpp"
@@ -69,6 +70,12 @@ class JsonReporter {
     metrics_.push_back({"sim_events_dispatched", "events", events});
     metrics_.push_back(
         {"sim_events_per_sec", "events/s", wall_s > 0.0 ? events / wall_s : 0.0});
+    // Which carrier-kernel dispatch entry produced this run (index into
+    // grid::simd::available_kernels(): 0 = scalar). Comparing runs made with
+    // different entries is still valid — shape metrics are ISA-independent —
+    // but the comparator surfaces the mismatch instead of hiding it.
+    metrics_.push_back({"carrier_math_impl", "index",
+                        static_cast<double>(grid::simd::active_impl_index())});
     const std::string path = "BENCH_" + figure_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;

@@ -1,11 +1,13 @@
 #include "src/grid/power_grid.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <numbers>
 
 #include "src/grid/db_units.hpp"
+#include "src/grid/simd.hpp"
 #include "src/grid/value_noise.hpp"
 #include "src/obs/obs.hpp"
 
@@ -15,14 +17,15 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Cable attenuation: a small per-meter term plus a frequency-dependent term
-/// (skin effect / dielectric loss grow with frequency). Calibrated so that a
-/// bare 70 m cable costs only a few dB — the paper observes at most a 2 Mb/s
-/// throughput drop over 70 m of unloaded cable (§5). The large distance
-/// losses observed in buildings come from branch taps, not the cable itself.
-double cable_loss_db(double dist_m, double f_mhz) {
-  return 0.015 * dist_m + 0.0012 * dist_m * f_mhz;
-}
+/// Cable attenuation coefficients: a small per-meter term plus a
+/// frequency-dependent term (skin effect / dielectric loss grow with
+/// frequency), cable_loss_db(d, f) = kCableLossPerM*d + kCableLossPerMMhz*d*f.
+/// Calibrated so that a bare 70 m cable costs only a few dB — the paper
+/// observes at most a 2 Mb/s throughput drop over 70 m of unloaded cable
+/// (§5). The large distance losses observed in buildings come from branch
+/// taps, not the cable itself.
+constexpr double kCableLossPerM = 0.015;
+constexpr double kCableLossPerMMhz = 0.0012;
 
 /// Insertion loss of one branch tap (T-junction) along the path: every
 /// junction splits signal power into the side branches.
@@ -177,19 +180,28 @@ std::vector<double> PowerGrid::attenuation_db(int a, int b, const CarrierBand& b
 
 std::span<const double> PowerGrid::attenuation_db(int a, int b, const CarrierBand& band,
                                                   sim::Time t, CarrierWorkspace& ws) const {
-  attenuation_db(a, b, band, t, ws.att_db);
+  CarrierWorkspace::Guard guard(ws);
+  ws.att_db.resize(static_cast<std::size_t>(band.n_carriers));
+  attenuation_into(a, b, band, t, ws.att_db.data());
   return ws.att_db;
 }
 
 void PowerGrid::attenuation_db(int a, int b, const CarrierBand& band, sim::Time t,
                                std::vector<double>& out) const {
+  out.resize(static_cast<std::size_t>(band.n_carriers));
+  attenuation_into(a, b, band, t, out.data());
+}
+
+void PowerGrid::attenuation_into(int a, int b, const CarrierBand& band, sim::Time t,
+                                 double* out) const {
   EFD_COUNTER_INC("grid.atten.queries");
   ensure_distances();
   assert(a >= 0 && a < node_count() && b >= 0 && b < node_count());
+  const simd::CarrierKernels& kernels = simd::active_kernels();
   const auto n = static_cast<std::size_t>(band.n_carriers);
   const double d = dist(a, b);
   if (d == kInf) {
-    out.assign(n, 200.0);  // no electrical path
+    std::fill(out, out + n, 200.0);  // no electrical path
     return;
   }
   const BandProfiles& prof = ensure_profiles(band);
@@ -222,10 +234,10 @@ void PowerGrid::attenuation_db(int a, int b, const CarrierBand& band, sim::Time 
   // observation intact.
   const double lumped_db =
       extra(a, b) + kTapLossDb * std::max(0, hops(a, b) - 1);
-  out.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = cable_loss_db(d, prof.freq_mhz[i]) + lumped_db + injection_db + drift_db;
-  }
+  // Cable loss is affine in carrier frequency, so the whole base spectrum is
+  // one affine map of the precomputed carrier-frequency vector.
+  const double base_db = kCableLossPerM * d + lumped_db + injection_db + drift_db;
+  kernels.affine_n(base_db, kCableLossPerMMhz * d, prof.freq_mhz.data(), out, n);
 
   // Multipath notches from impedance mismatches of powered appliances near
   // the path. Each appliance's branch line creates frequency-periodic
@@ -239,11 +251,7 @@ void PowerGrid::attenuation_db(int a, int b, const CarrierBand& band, sim::Time 
     const double gamma = reflection(j.impedance_ohm);
     const double depth = j.notch_depth_db * gamma * w;
     const double broadband = 0.5 * gamma * w;
-    const double* notch = &prof.notch_sin[k * n];
-    for (std::size_t i = 0; i < n; ++i) {
-      const double s = notch[i];
-      out[i] += broadband + depth * s * s;
-    }
+    kernels.accumulate_notch_n(broadband, depth, &prof.notch_sin[k * n], out, n);
   }
 }
 
@@ -257,10 +265,22 @@ std::vector<double> PowerGrid::noise_psd_db(int b, const CarrierBand& band, sim:
 std::span<const double> PowerGrid::noise_psd_db(int b, const CarrierBand& band,
                                                 sim::Time t, int slot, int n_slots,
                                                 CarrierWorkspace& ws) const {
+  CarrierWorkspace::Guard guard(ws);
+  const auto n = static_cast<std::size_t>(band.n_carriers);
+  ws.power.resize(n);
+  ws.noise_db.resize(n);
+  noise_psd_into(b, band, t, slot, n_slots, ws.power.data(), ws.noise_db.data());
+  return ws.noise_db;
+}
+
+void PowerGrid::noise_psd_into(int b, const CarrierBand& band, sim::Time t,
+                               int slot, int n_slots, double* power,
+                               double* out) const {
   EFD_COUNTER_INC("grid.noise.queries");
   ensure_distances();
   assert(b >= 0 && b < node_count());
   assert(slot >= 0 && slot < n_slots);
+  const simd::CarrierKernels& kernels = simd::active_kernels();
   const BandProfiles& prof = ensure_profiles(band);
   const auto n = static_cast<std::size_t>(band.n_carriers);
   // Background mains noise: the grid outside the building couples in a
@@ -272,8 +292,7 @@ std::span<const double> PowerGrid::noise_psd_db(int b, const CarrierBand& band,
   // Accumulate appliance contributions in the power domain over the floor.
   // Each appliance factors into (per-query scalar) x (precomputed spectral
   // profile), so the inner loop carries no transcendentals.
-  ws.power.assign(n, 1.0 + db_to_linear(bg_db));
-  double* power = ws.power.data();
+  std::fill(power, power + n, 1.0 + db_to_linear(bg_db));
   for (int k : noise_neighbors_[static_cast<std::size_t>(b)]) {
     const Appliance& j = appliances_[static_cast<std::size_t>(k)];
     if (!j.schedule.is_on(t)) continue;
@@ -284,16 +303,10 @@ std::span<const double> PowerGrid::noise_psd_db(int b, const CarrierBand& band,
     const double coupling_db = 10.0 * std::log10(coupling) - 6.0;
     const double sync_db = j.noise.sync_db * slot_weight(j, slot, n_slots);
     const double scale = db_to_linear(sync_db + coupling_db);
-    const double* color = &prof.color_lin[static_cast<std::size_t>(k) * n];
-    for (std::size_t i = 0; i < n; ++i) {
-      power[i] += scale * color[i];
-    }
+    kernels.accumulate_scaled_n(scale, &prof.color_lin[static_cast<std::size_t>(k) * n],
+                                power, n);
   }
-  ws.noise_db.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    ws.noise_db[i] = linear_to_db(power[i]);
-  }
-  return ws.noise_db;
+  kernels.linear_to_db_n(power, out, n);
 }
 
 double PowerGrid::fast_noise_offset_db(int b, sim::Time t) const {

@@ -140,6 +140,18 @@ class PowerGrid {
   /// 1 when the appliance sits on the path, decaying with detour distance.
   [[nodiscard]] double path_weight(const Appliance& j, int a, int b) const;
 
+  /// Batch core of attenuation_db: writes band.n_carriers values into `out`
+  /// through the active carrier kernels (grid/simd.hpp). Both public
+  /// variants delegate here, so vector- and workspace-callers run the exact
+  /// same arithmetic.
+  void attenuation_into(int a, int b, const CarrierBand& band, sim::Time t,
+                        double* out) const;
+
+  /// Batch core of noise_psd_db: accumulates the linear power spectrum in
+  /// `power` and writes the dB result into `out` (both band.n_carriers).
+  void noise_psd_into(int b, const CarrierBand& band, sim::Time t, int slot,
+                      int n_slots, double* power, double* out) const;
+
   std::vector<std::string> names_;
   struct Cable { int a; int b; double length_m; double extra_loss_db; };
   std::vector<Cable> cables_;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/grid/simd.hpp"
 #include "src/obs/obs.hpp"
 
 namespace efd::plc {
@@ -65,9 +66,9 @@ PlcChannel::SnrEntry& PlcChannel::entry(net::StationId a, net::StationId b, int 
   const auto noise =
       grid_.noise_psd_db(ob, phy_.band, t, slot, phy_.tone_map_slots, scratch());
   e.snr_db.resize(att.size());
-  for (std::size_t i = 0; i < att.size(); ++i) {
-    e.snr_db[i] = phy_.tx_psd_db - att[i] - noise[i];
-  }
+  grid::simd::active_kernels().assemble_snr_n(phy_.tx_psd_db, att.data(),
+                                              noise.data(), e.snr_db.data(),
+                                              att.size());
   e.epoch = epoch;
   e.pberr.clear();
   return e;
@@ -86,7 +87,7 @@ std::vector<double> PlcChannel::snr_db(net::StationId a, net::StationId b, int s
                                        sim::Time t) const {
   std::vector<double> snr = entry(a, b, slot, t).snr_db;
   const double offset = fast_offset_db(b, t);
-  for (double& v : snr) v -= offset;
+  grid::simd::active_kernels().shift_n(snr.data(), offset, snr.data(), snr.size());
   return snr;
 }
 
@@ -95,10 +96,10 @@ std::span<const double> PlcChannel::snr_db(net::StationId a, net::StationId b, i
                                            grid::CarrierWorkspace& ws) const {
   const auto& snr = entry(a, b, slot, t).snr_db;
   const double offset = fast_offset_db(b, t);
+  grid::CarrierWorkspace::Guard guard(ws);
   ws.snr_db.resize(snr.size());
-  for (std::size_t i = 0; i < snr.size(); ++i) {
-    ws.snr_db[i] = snr[i] - offset;
-  }
+  grid::simd::active_kernels().shift_n(snr.data(), offset, ws.snr_db.data(),
+                                       snr.size());
   return ws.snr_db;
 }
 
@@ -120,11 +121,11 @@ double PlcChannel::pb_error_probability(const ToneMap& tm, net::StationId a,
 
   // Shift into per-thread scratch instead of copying the 917-entry vector.
   grid::CarrierWorkspace& ws = scratch();
+  grid::CarrierWorkspace::Guard guard(ws);
   const double off = static_cast<double>(bucket) / 4.0;
   ws.snr_db.resize(e.snr_db.size());
-  for (std::size_t i = 0; i < e.snr_db.size(); ++i) {
-    ws.snr_db[i] = e.snr_db[i] - off;
-  }
+  grid::simd::active_kernels().shift_n(e.snr_db.data(), off, ws.snr_db.data(),
+                                       e.snr_db.size());
   const double p = tm.pb_error_probability(ws.snr_db, phy_);
   // Bound the memo: tone maps churn on bad links, so evict wholesale.
   if (e.pberr.size() > 4096) e.pberr.clear();

@@ -41,18 +41,15 @@ const BerTables& ber_tables() {
 }
 }  // namespace
 
-int bits_per_symbol(Modulation m) {
-  switch (m) {
-    case Modulation::kOff: return 0;
-    case Modulation::kBpsk: return 1;
-    case Modulation::kQpsk: return 2;
-    case Modulation::kQam8: return 3;
-    case Modulation::kQam16: return 4;
-    case Modulation::kQam64: return 6;
-    case Modulation::kQam256: return 8;
-    case Modulation::kQam1024: return 10;
-  }
-  return 0;
+grid::simd::InterpTableView ber_lut_view() {
+  const BerTables& t = ber_tables();
+  return {
+      t.ber[0].data(),
+      kModulationCount,
+      static_cast<std::int32_t>(kLutSize),
+      kLutMinDb,
+      kLutStepDb,
+  };
 }
 
 double required_snr_db(Modulation m) {

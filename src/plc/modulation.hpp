@@ -1,6 +1,10 @@
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <string>
+
+#include "src/grid/simd.hpp"
 
 namespace efd::plc {
 
@@ -19,8 +23,31 @@ enum class Modulation {
 
 inline constexpr int kModulationCount = 8;
 
+/// Bits carried per OFDM symbol on one carrier, indexed by Modulation. The
+/// tone-map layer builds structure-of-arrays bit vectors straight from this
+/// table; `bits_per_symbol` is a thin wrapper over it.
+inline constexpr std::array<int, kModulationCount> kBitsPerSymbol = {
+    0,   // kOff
+    1,   // kBpsk
+    2,   // kQpsk
+    3,   // kQam8
+    4,   // kQam16
+    6,   // kQam64
+    8,   // kQam256
+    10,  // kQam1024
+};
+
 /// Bits carried per OFDM symbol on one carrier.
-[[nodiscard]] int bits_per_symbol(Modulation m);
+[[nodiscard]] constexpr int bits_per_symbol(Modulation m) {
+  return kBitsPerSymbol[static_cast<std::size_t>(m)];
+}
+
+/// View of the uncoded-BER lookup table for the batch carrier kernels
+/// (grid::simd::CarrierKernels::ber_weighted_sum_n): kModulationCount rows of
+/// samples every 0.1 dB. Row offsets are `modulation_index * view.size`; the
+/// kOff row is all-zero, so off carriers gather 0.0 and (with bit weight 0)
+/// contribute nothing to the reduction — no branch needed.
+[[nodiscard]] grid::simd::InterpTableView ber_lut_view();
 
 /// Minimum carrier SNR (dB) at which the bit-loader selects `m`, assuming
 /// the standard's rate-16/21 turbo FEC. Calibrated so that operating at the

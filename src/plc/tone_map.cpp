@@ -27,8 +27,17 @@ double fec_waterfall(double mean_ber) {
 }  // namespace
 
 void ToneMap::recompute() {
+  const std::size_t n = carriers_.size();
+  const std::int32_t row_len = ber_lut_view().size;
+  lut_rows_.resize(n);
+  bits_.resize(n);
   double bits = 0.0;
-  for (Modulation m : carriers_) bits += efd::plc::bits_per_symbol(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int b = efd::plc::bits_per_symbol(carriers_[i]);
+    bits += b;
+    bits_[i] = static_cast<double>(b);
+    lut_rows_[i] = static_cast<std::int32_t>(carriers_[i]) * row_len;
+  }
   bits /= robo_repetitions_;
   bits_per_symbol_ = bits;
   phy_rate_mbps_ = bits * fec_rate_ / symbol_us_;
@@ -78,6 +87,12 @@ ToneMap ToneMap::robo(const PhyParams& phy, const RoboMode& robo) {
 
 double ToneMap::pb_error_probability(std::span<const double> actual_snr_db,
                                      const PhyParams& phy) const {
+  return pb_error_probability(actual_snr_db, phy, grid::simd::active_kernels());
+}
+
+double ToneMap::pb_error_probability(
+    std::span<const double> actual_snr_db, const PhyParams& phy,
+    const grid::simd::CarrierKernels& kernels) const {
   (void)phy;
   assert(actual_snr_db.size() == carriers_.size());
   if (robo_repetitions_ > 1) {
@@ -86,11 +101,9 @@ double ToneMap::pb_error_probability(std::span<const double> actual_snr_db,
     // combining approximates summing the linear SNRs of the copies, i.e.
     // repetitions times the mean linear SNR. This is what makes broadcast
     // frames decodable on links whose data quality is poor (§8.1).
-    double mean_linear = 0.0;
-    for (double snr : actual_snr_db) {
-      mean_linear += grid::db_to_linear(snr);
-    }
-    mean_linear /= static_cast<double>(actual_snr_db.size());
+    const double mean_linear =
+        kernels.sum_db_to_linear_n(actual_snr_db.data(), actual_snr_db.size()) /
+        static_cast<double>(actual_snr_db.size());
     const double combined_db =
         grid::linear_to_db(robo_repetitions_ * std::max(1e-6, mean_linear));
     const double ber =
@@ -99,13 +112,9 @@ double ToneMap::pb_error_probability(std::span<const double> actual_snr_db,
   }
   double weighted_ber = 0.0;
   double total_bits = 0.0;
-  for (std::size_t i = 0; i < carriers_.size(); ++i) {
-    const int b = efd::plc::bits_per_symbol(carriers_[i]);
-    if (b == 0) continue;
-    const double eff_snr = actual_snr_db[i] + kCodingGainDb;
-    weighted_ber += uncoded_ber(carriers_[i], eff_snr) * b;
-    total_bits += b;
-  }
+  kernels.ber_weighted_sum_n(ber_lut_view(), lut_rows_.data(), bits_.data(),
+                             actual_snr_db.data(), kCodingGainDb,
+                             actual_snr_db.size(), &weighted_ber, &total_bits);
   if (total_bits == 0.0) return 1.0;  // nothing loaded: undecodable
   return fec_waterfall(weighted_ber / total_bits);
 }

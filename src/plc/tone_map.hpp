@@ -51,12 +51,26 @@ class ToneMap {
 
   /// PB error probability if this tone map is used while the channel
   /// actually provides `actual_snr_db` per carrier: mean uncoded BER over
-  /// loaded carriers pushed through the turbo-FEC waterfall.
+  /// loaded carriers pushed through the turbo-FEC waterfall. Runs on the
+  /// process-wide carrier kernels (grid::simd::active_kernels()).
   [[nodiscard]] double pb_error_probability(std::span<const double> actual_snr_db,
                                             const PhyParams& phy) const;
 
+  /// Same, on an explicit kernel entry — lets the differential tests and the
+  /// odd-tail sweeps pin every compiled-in implementation.
+  [[nodiscard]] double pb_error_probability(
+      std::span<const double> actual_snr_db, const PhyParams& phy,
+      const grid::simd::CarrierKernels& kernels) const;
+
  private:
   std::vector<Modulation> carriers_;
+  // Structure-of-arrays mirrors of carriers_, rebuilt by recompute(): the
+  // BER-LUT row offset (modulation * row length) and the bit weight of each
+  // carrier, in the exact layout ber_weighted_sum_n consumes. kOff carriers
+  // keep row 0 (all-zero) and weight 0.0, so the batch reduction needs no
+  // "carrier off" branch.
+  std::vector<std::int32_t> lut_rows_;
+  std::vector<double> bits_;
   double fec_rate_ = 16.0 / 21.0;
   double symbol_us_ = 46.52;
   double expected_pberr_ = 0.0;

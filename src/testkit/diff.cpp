@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "src/grid/simd.hpp"
 #include "src/plc/channel_estimator.hpp"
 #include "src/sim/rng.hpp"
 #include "src/testkit/reference.hpp"
@@ -177,14 +178,117 @@ DiffResult diff_ble(ScenarioWorld& world, const DiffTolerances& tol) {
   return acc.finish();
 }
 
+/// Batch-kernel dB arithmetic of one dispatch entry vs the naive reference:
+/// the conversion and reduction kernels within db_conversion_rel, and the
+/// element-wise kernels against the scalar entry (which they are required to
+/// match far tighter than the same bound). Odd vector lengths exercise every
+/// entry's tail path.
+DiffResult diff_kernels_db(ScenarioWorld& world, const DiffTolerances& tol,
+                           const grid::simd::CarrierKernels& k) {
+  DiffAccum acc(std::string("kernels-") + k.name + "-db", tol.db_conversion_rel);
+  const CarrierMathImpl& ref = reference_impl();
+  const grid::simd::CarrierKernels& sc = grid::simd::scalar_kernels();
+  sim::Rng rng = sim::Rng{world.scenario().world_seed}.fork(0x51d1u);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{916},
+                              std::size_t{917}}) {
+    std::vector<double> db(n), x(n), out(n), tmp(n), scout(n), sctmp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      db[i] = rng.uniform(-120.0, 80.0);
+      x[i] = rng.uniform(-50.0, 50.0);
+    }
+    k.db_to_linear_n(db.data(), out.data(), n);
+    double ref_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = ref.db_to_linear(db[i]);
+      ref_sum += r;
+      acc.sample(std::abs(out[i] - r) / std::max(std::abs(r), 1e-300),
+                 "%s db_to_linear_n[%zu/%zu]: %.17g ref %.17g", k.name, i, n,
+                 out[i], r);
+    }
+    const double sum = k.sum_db_to_linear_n(db.data(), n);
+    acc.sample(std::abs(sum - ref_sum) / std::max(std::abs(ref_sum), 1e-300),
+               "%s sum_db_to_linear_n(n=%zu): %.17g ref %.17g", k.name, n, sum,
+               ref_sum);
+    k.linear_to_db_n(out.data(), tmp.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = ref.linear_to_db(out[i]);
+      acc.sample(std::abs(tmp[i] - r) / std::max(std::abs(r), 1e-12),
+                 "%s linear_to_db_n[%zu/%zu]: %.12f ref %.12f", k.name, i, n,
+                 tmp[i], r);
+    }
+    // Element-wise kernels vs the scalar entry.
+    k.affine_n(3.25, 0.125, x.data(), out.data(), n);
+    sc.affine_n(3.25, 0.125, x.data(), scout.data(), n);
+    k.assemble_snr_n(55.0, db.data(), x.data(), tmp.data(), n);
+    sc.assemble_snr_n(55.0, db.data(), x.data(), sctmp.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc.sample(std::abs(out[i] - scout[i]) / std::max(std::abs(scout[i]), 1e-12),
+                 "%s affine_n[%zu/%zu]: %.17g scalar %.17g", k.name, i, n,
+                 out[i], scout[i]);
+      acc.sample(std::abs(tmp[i] - sctmp[i]) / std::max(std::abs(sctmp[i]), 1e-12),
+                 "%s assemble_snr_n[%zu/%zu]: %.17g scalar %.17g", k.name, i, n,
+                 tmp[i], sctmp[i]);
+    }
+    k.accumulate_notch_n(0.75, 4.5, x.data(), out.data(), n);
+    sc.accumulate_notch_n(0.75, 4.5, x.data(), scout.data(), n);
+    k.accumulate_scaled_n(0.3, db.data(), out.data(), n);
+    sc.accumulate_scaled_n(0.3, db.data(), scout.data(), n);
+    k.shift_n(out.data(), 1.5, out.data(), n);
+    sc.shift_n(scout.data(), 1.5, scout.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc.sample(std::abs(out[i] - scout[i]) / std::max(std::abs(scout[i]), 1e-12),
+                 "%s notch+scaled+shift[%zu/%zu]: %.17g scalar %.17g", k.name, i,
+                 n, out[i], scout[i]);
+    }
+  }
+  return acc.finish();
+}
+
+/// One dispatch entry's BER-LUT gather/reduction through the full ToneMap
+/// path vs the naive closed-form reference, including the ROBO combining
+/// branch, at the PB-error tolerance.
+DiffResult diff_kernels_pberr(ScenarioWorld& world, const DiffTolerances& tol,
+                              const grid::simd::CarrierKernels& k) {
+  DiffAccum acc(std::string("kernels-") + k.name + "-pberr", tol.pberr_abs);
+  const plc::PhyParams& phy = world.channel().phy();
+  sim::Rng rng = sim::Rng{world.scenario().world_seed}.fork(0x51d2u);
+  const auto n = static_cast<std::size_t>(phy.band.n_carriers);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> snr(n);
+    for (double& v : snr) v = rng.uniform(-20.0, 45.0);
+    const plc::ToneMap tm =
+        plc::ToneMap::from_snr(snr, 2.0, phy, 0.0, static_cast<std::uint32_t>(trial));
+    const double fast = tm.pb_error_probability(snr, phy, k);
+    const double refp =
+        ref::pb_error_probability(tm.carriers(), snr, 1, reference_impl());
+    acc.sample(std::abs(fast - refp), "%s trial %d: fast %.8f ref %.8f", k.name,
+               trial, fast, refp);
+    const plc::ToneMap robo = plc::ToneMap::robo(phy);
+    const double fast_robo = robo.pb_error_probability(snr, phy, k);
+    const double ref_robo = ref::pb_error_probability(
+        robo.carriers(), snr, robo.robo_repetitions(), reference_impl());
+    acc.sample(std::abs(fast_robo - ref_robo),
+               "%s robo trial %d: fast %.8f ref %.8f", k.name, trial, fast_robo,
+               ref_robo);
+  }
+  return acc.finish();
+}
+
 }  // namespace
 
 std::vector<DiffResult> run_diff(ScenarioWorld& world, const DiffTolerances& tol) {
-  return {
+  std::vector<DiffResult> out{
       diff_db_conversions(world, tol), diff_uncoded_ber(world, tol),
       diff_static_snr(world, tol),     diff_pberr(world, tol),
       diff_ble(world, tol),
   };
+  // Every dispatch entry this machine can run: scalar always, plus the
+  // vector implementations whose ISA the CPU reports.
+  for (const grid::simd::CarrierKernels* k : grid::simd::available_kernels()) {
+    out.push_back(diff_kernels_db(world, tol, *k));
+    out.push_back(diff_kernels_pberr(world, tol, *k));
+  }
+  return out;
 }
 
 std::vector<DiffResult> diff_failures(const std::vector<DiffResult>& r) {

@@ -16,6 +16,16 @@ Two kinds of checks:
     beyond --max-regress (default 0.25, the ">25%" CI gate). Improvements
     never fail.
 
+A second input format is detected automatically: google-benchmark JSON
+(`--benchmark_format=json` output with a top-level "benchmarks" array, as
+produced by bench_micro_kernels). There the comparison is host-independent:
+for every `kernel/<kernel>/<impl>/<n>` entry the script computes the SPEEDUP
+of each SIMD impl over the scalar entry of the same run, and fails when a
+current speedup falls more than --max-regress below the baseline speedup.
+Entries present in the baseline but absent from the current run fail as a
+tripwire (a kernel silently dropped from the bench would otherwise pass).
+Both files must be the same format.
+
 Exit status: 0 on pass, 1 on any failure, 2 on usage/IO errors.
 """
 
@@ -27,8 +37,11 @@ import sys
 # LOWER_IS_BETTER), everything else must be bit-equal to the baseline.
 PERF_METRICS = {"sim_events_per_sec", "sim_events_dispatched"}
 LOWER_IS_BETTER = {"wall_clock_s"}
+# Machine-dependent run descriptors: recorded for provenance, never compared
+# (a scalar-forced or non-AVX2 run legitimately differs from the baseline).
+MACHINE_METRICS = {"carrier_math_impl"}
 # Exact-match exemptions: perf metrics plus anything machine-dependent.
-NON_SHAPE_METRICS = PERF_METRICS
+NON_SHAPE_METRICS = PERF_METRICS | MACHINE_METRICS
 
 
 def load(path):
@@ -72,6 +85,86 @@ def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
+def is_gbench(doc):
+    return isinstance(doc.get("benchmarks"), list)
+
+
+def kernel_times(doc, path):
+    """(kernel, n) -> {impl: cpu_time} from a google-benchmark JSON.
+
+    Accepts both plain runs (run_type "iteration") and aggregate runs, where
+    the median aggregate is preferred (its name carries a "_median" suffix).
+    Entries that are not kernel/<kernel>/<impl>/<n> benches are ignored, so
+    the same file may hold unrelated benchmarks.
+    """
+    plain, median = {}, {}
+    for i, b in enumerate(doc["benchmarks"]):
+        if not isinstance(b, dict):
+            print(f"bench_compare: {path}: benchmarks[{i}] is not an object;"
+                  " skipped", file=sys.stderr)
+            continue
+        name = b.get("name", "")
+        cpu = b.get("cpu_time")
+        if not isinstance(name, str) or not is_number(cpu) or cpu <= 0:
+            continue
+        dest = plain
+        if name.endswith("_median"):
+            name, dest = name[: -len("_median")], median
+        elif b.get("run_type") == "aggregate":
+            continue  # mean/stddev/cv aggregates
+        parts = name.split("/")
+        if len(parts) != 4 or parts[0] != "kernel":
+            continue
+        _, kernel, impl, n = parts
+        dest.setdefault((kernel, n), {})[impl] = cpu
+    # Median aggregates win over per-repetition entries for the same key.
+    out = dict(plain)
+    for key, impls in median.items():
+        out.setdefault(key, {}).update(impls)
+    return out
+
+
+def compare_kernels(cur, base, args):
+    """Host-independent speedup comparison of two google-benchmark files."""
+    cur_t = kernel_times(cur, args.current)
+    base_t = kernel_times(base, args.baseline)
+    failures = []
+    for (kernel, n), base_impls in sorted(base_t.items()):
+        if "scalar" not in base_impls:
+            print(f"  --  kernel/{kernel}/{n}: baseline has no scalar entry")
+            continue
+        cur_impls = cur_t.get((kernel, n), {})
+        if "scalar" not in cur_impls:
+            failures.append(
+                f"kernel/{kernel}/scalar/{n} missing from {args.current}")
+            continue
+        for impl, base_cpu in sorted(base_impls.items()):
+            if impl == "scalar":
+                continue
+            label = f"kernel/{kernel}/{impl}/{n}"
+            if impl not in cur_impls:
+                failures.append(f"{label} missing from {args.current}")
+                continue
+            base_speedup = base_impls["scalar"] / base_cpu
+            cur_speedup = cur_impls["scalar"] / cur_impls[impl]
+            ratio = base_speedup / cur_speedup  # >1 means less speedup now
+            status = "ok" if ratio <= 1.0 + args.max_regress else "FAIL"
+            print(f"  {status:4s}{label:40s} speedup {cur_speedup:.2f}x vs "
+                  f"baseline {base_speedup:.2f}x "
+                  f"({(ratio - 1.0) * 100.0:+.1f}% vs allowance "
+                  f"{args.max_regress * 100.0:.0f}%)")
+            if status == "FAIL":
+                failures.append(
+                    f"'{label}' speedup dropped to {cur_speedup:.2f}x"
+                    f" (baseline {base_speedup:.2f}x,"
+                    f" > {args.max_regress * 100.0:.0f}% allowed)")
+    if not base_t:
+        print(f"bench_compare: {args.baseline}: no kernel/<k>/<impl>/<n>"
+              " benchmarks found", file=sys.stderr)
+        sys.exit(2)
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -85,6 +178,21 @@ def main():
     args = ap.parse_args()
 
     cur, base = load(args.current), load(args.baseline)
+    if is_gbench(base) != is_gbench(cur):
+        print("bench_compare: cannot compare a google-benchmark JSON with a"
+              " BENCH_<figure>.json", file=sys.stderr)
+        sys.exit(2)
+    if is_gbench(base):
+        failures = compare_kernels(cur, base, args)
+        if failures:
+            print(f"\nbench_compare: {len(failures)} failure(s):",
+                  file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(f"\nbench_compare: {args.current} within budget of"
+              f" {args.baseline}")
+        return 0
     cur_m, base_m = metric_map(cur, args.current), metric_map(base, args.baseline)
     failures = []
 

@@ -25,7 +25,7 @@ def metric(name, value):
     return {"name": name, "value": value}
 
 
-class BenchCompareTest(unittest.TestCase):
+class CompareTestBase(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
 
@@ -46,6 +46,8 @@ class BenchCompareTest(unittest.TestCase):
             [sys.executable, SCRIPT, cur, base, *extra],
             capture_output=True, text=True, check=False)
 
+
+class BenchCompareTest(CompareTestBase):
     def test_identical_docs_pass(self):
         d = doc([metric("median_mbps", 87.5),
                  metric("sim_events_per_sec", 1.0e6)])
@@ -129,6 +131,15 @@ class BenchCompareTest(unittest.TestCase):
                              self.write("base.json", base))
         self.assertEqual(r.returncode, 0, r.stderr)
 
+    def test_machine_metric_mismatch_is_not_shape_drift(self):
+        # carrier_math_impl records which SIMD dispatch entry ran; a forced-
+        # scalar leg must still compare clean against an avx2-made baseline.
+        base = doc([metric("median_mbps", 87.5), metric("carrier_math_impl", 1)])
+        cur = doc([metric("median_mbps", 87.5), metric("carrier_math_impl", 0)])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
     def test_unreadable_file_is_usage_error(self):
         base = self.write("base.json", doc([]))
         r = self.run_compare(os.path.join(self.tmp.name, "absent.json"), base)
@@ -139,6 +150,106 @@ class BenchCompareTest(unittest.TestCase):
         cur = self.write("cur.json", "{not json")
         r = self.run_compare(cur, base)
         self.assertEqual(r.returncode, 2)
+
+
+def gbench(*entries):
+    return {"context": {"num_cpus": 1}, "benchmarks": list(entries)}
+
+
+def kbench(kernel, impl, n, cpu_time, **extra):
+    return dict({"name": f"kernel/{kernel}/{impl}/{n}",
+                 "run_type": "iteration", "cpu_time": cpu_time}, **extra)
+
+
+class KernelSpeedupCompareTest(CompareTestBase):
+    """google-benchmark mode: per-(kernel, n) speedup-over-scalar budgets."""
+
+    def test_equal_speedups_pass(self):
+        d = gbench(kbench("db_to_linear", "scalar", 917, 4000.0),
+                   kbench("db_to_linear", "avx2", 917, 1000.0))
+        r = self.run_compare(self.write("cur.json", d),
+                             self.write("base.json", d))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("4.00x", r.stdout)
+
+    def test_speedup_is_host_independent(self):
+        # A 2x slower host with the same scalar/avx2 ratio is not a regression.
+        base = gbench(kbench("db_to_linear", "scalar", 917, 4000.0),
+                      kbench("db_to_linear", "avx2", 917, 1000.0))
+        cur = gbench(kbench("db_to_linear", "scalar", 917, 8000.0),
+                     kbench("db_to_linear", "avx2", 917, 2000.0))
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_speedup_regression_fails(self):
+        base = gbench(kbench("robo_sum", "scalar", 917, 4000.0),
+                      kbench("robo_sum", "avx2", 917, 1000.0))
+        cur = gbench(kbench("robo_sum", "scalar", 917, 4000.0),
+                     kbench("robo_sum", "avx2", 917, 2000.0))  # 4x -> 2x
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("speedup dropped", r.stderr)
+
+    def test_missing_kernel_entry_is_a_tripwire(self):
+        base = gbench(kbench("robo_sum", "scalar", 917, 4000.0),
+                      kbench("robo_sum", "avx2", 917, 1000.0))
+        cur = gbench(kbench("robo_sum", "scalar", 917, 4000.0))
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing", r.stderr)
+
+    def test_median_aggregates_win_over_repetitions(self):
+        # Per-repetition entries drift; the _median aggregate is the signal.
+        base = gbench(kbench("robo_sum", "scalar", 917, 4000.0),
+                      kbench("robo_sum", "avx2", 917, 1000.0))
+        cur = gbench(
+            kbench("robo_sum", "scalar", 917, 4000.0),
+            kbench("robo_sum", "avx2", 917, 9000.0),  # noisy repetition
+            dict(kbench("robo_sum", "scalar", 917, 4000.0),
+                 name="kernel/robo_sum/scalar/917_median", run_type="aggregate"),
+            dict(kbench("robo_sum", "avx2", 917, 1050.0),
+                 name="kernel/robo_sum/avx2/917_median", run_type="aggregate"))
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_mean_stddev_aggregates_are_ignored(self):
+        d = gbench(
+            kbench("db_to_linear", "scalar", 917, 4000.0),
+            kbench("db_to_linear", "avx2", 917, 1000.0),
+            dict(kbench("db_to_linear", "avx2", 917, 77.0),
+                 name="kernel/db_to_linear/avx2/917_stddev",
+                 run_type="aggregate"))
+        r = self.run_compare(self.write("cur.json", d),
+                             self.write("base.json", d))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_non_kernel_benchmarks_are_ignored(self):
+        d = gbench(kbench("db_to_linear", "scalar", 917, 4000.0),
+                   kbench("db_to_linear", "avx2", 917, 1000.0),
+                   {"name": "BM_other/4", "run_type": "iteration",
+                    "cpu_time": 5.0})
+        r = self.run_compare(self.write("cur.json", d),
+                             self.write("base.json", d))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_no_kernel_entries_in_baseline_is_structure_error(self):
+        d = gbench({"name": "BM_other/4", "run_type": "iteration",
+                    "cpu_time": 5.0})
+        r = self.run_compare(self.write("cur.json", d),
+                             self.write("base.json", d))
+        self.assertEqual(r.returncode, 2)
+
+    def test_format_mismatch_is_usage_error(self):
+        base = gbench(kbench("db_to_linear", "scalar", 917, 4000.0))
+        cur = doc([metric("median_mbps", 87.5)])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("cannot compare", r.stderr)
 
 
 if __name__ == "__main__":
