@@ -45,32 +45,43 @@ int main() {
       "no WiFi connectivity beyond ~35 m while PLC still delivers");
   bench::JsonReporter json("fig03");
 
+  // Bench phases nest under the reporter's root "bench" scope; the folded
+  // tree in BENCH_fig03.json then attributes the run to setup/sweep/report.
   sim::Simulator sim;
   testbed::Testbed::Config cfg;
   cfg.with_hpav500 = false;
-  testbed::Testbed tb(sim, cfg);
-  sim.run_until(testbed::weekday_afternoon());
-
-  std::vector<PairResult> results;
-  const int threads = testbed::ParallelRunner::env_threads();
-  if (threads == 0) {
-    for (const auto& [a, b] : tb.all_pairs()) {
-      results.push_back(measure_pair(tb, a, b));
-    }
-  } else {
-    std::printf("sweep: per-pair testbeds on %d worker(s)\n", threads);
-    const auto pairs = tb.all_pairs();
-    const testbed::ParallelRunner pool(threads);
-    results = pool.map_with_sim<PairResult>(
-        static_cast<int>(pairs.size()),
-        [&pairs, &cfg](int i, sim::Simulator& task_sim) {
-          testbed::Testbed task_tb(task_sim, cfg);
-          task_sim.run_until(testbed::weekday_afternoon());
-          return measure_pair(task_tb, pairs[static_cast<std::size_t>(i)].first,
-                              pairs[static_cast<std::size_t>(i)].second);
-        });
+  std::unique_ptr<testbed::Testbed> tb;
+  {
+    EFD_PROF_SCOPE("phase.setup");
+    tb = std::make_unique<testbed::Testbed>(sim, cfg);
+    sim.run_until(testbed::weekday_afternoon());
   }
 
+  std::vector<PairResult> results;
+  {
+    EFD_PROF_SCOPE("phase.sweep");
+    const int threads = testbed::ParallelRunner::env_threads();
+    if (threads == 0) {
+      for (const auto& [a, b] : tb->all_pairs()) {
+        results.push_back(measure_pair(*tb, a, b));
+      }
+    } else {
+      std::printf("sweep: per-pair testbeds on %d worker(s)\n", threads);
+      const auto pairs = tb->all_pairs();
+      const testbed::ParallelRunner pool(threads);
+      results = pool.map_with_sim<PairResult>(
+          static_cast<int>(pairs.size()),
+          [&pairs, &cfg](int i, sim::Simulator& task_sim) {
+            testbed::Testbed task_tb(task_sim, cfg);
+            task_sim.run_until(testbed::weekday_afternoon());
+            return measure_pair(task_tb,
+                                pairs[static_cast<std::size_t>(i)].first,
+                                pairs[static_cast<std::size_t>(i)].second);
+          });
+    }
+  }
+
+  EFD_PROF_SCOPE("phase.report");
   const auto connected = [](const testbed::ThroughputResult& t) {
     return t.mean_mbps > 1.0;
   };
@@ -111,7 +122,7 @@ int main() {
 
   bench::section("connectivity");
   std::printf("pairs total: %zu (PLC possible on %zu same-network pairs)\n",
-              results.size(), tb.plc_links().size());
+              results.size(), tb->plc_links().size());
   std::printf("PLC connected:  %d   WiFi connected: %d\n", plc_conn, wifi_conn);
   std::printf("WiFi-connected pairs also on PLC: %.0f%%  (paper: 100%%)\n",
               both + wifi_only == 0

@@ -69,40 +69,47 @@ int main() {
                 "capture-prone pairs only");
   bench::JsonReporter json("fig23");
 
+  // Phases nest under the reporter's root "bench" scope: pair selection is
+  // "phase.setup", the four run_pair sweeps are "phase.sweep".
   sim::Simulator sim;
   testbed::Testbed::Config cfg;
   cfg.with_hpav500 = false;
   testbed::Testbed tb(sim, cfg);
-  sim.run_until(testbed::weekend_night());
-
-  // Find a capture-prone pair: background transmitter electrically close to
-  // the probe receiver (large SNR advantage of probe at its receiver), and
-  // an insensitive pair (comparable strengths -> full-frame collisions).
-  auto& ch = tb.plc_channel();
   int sa = -1, sb = -1, sc = -1, sd = -1;  // sensitive
   int ia = -1, ib = -1, ic = -1, id = -1;  // insensitive
-  for (const auto& [a, b] : tb.plc_links()) {
-    if (ch.mean_snr_db(a, b, 0, sim.now()) < 20.0) continue;
-    for (const auto& [c, d] : tb.plc_links()) {
-      if (c == a || c == b || d == a || d == b) continue;
-      if (!tb.same_plc_network(a, c)) continue;
-      if (ch.mean_snr_db(c, d, 0, sim.now()) < 12.0) continue;
-      const double adv = ch.mean_snr_db(a, b, 0, sim.now()) -
-                         ch.mean_snr_db(c, b, 0, sim.now());
-      if (sa < 0 && adv > 12.0) {
-        sa = a; sb = b; sc = c; sd = d;
-      }
-      if (ia < 0 && adv < 6.0 && adv > -6.0) {
-        ia = a; ib = b; ic = c; id = d;
+  {
+    EFD_PROF_SCOPE("phase.setup");
+    sim.run_until(testbed::weekend_night());
+
+    // Find a capture-prone pair: background transmitter electrically close
+    // to the probe receiver (large SNR advantage of probe at its receiver),
+    // and an insensitive pair (comparable strengths -> full-frame
+    // collisions).
+    auto& ch = tb.plc_channel();
+    for (const auto& [a, b] : tb.plc_links()) {
+      if (ch.mean_snr_db(a, b, 0, sim.now()) < 20.0) continue;
+      for (const auto& [c, d] : tb.plc_links()) {
+        if (c == a || c == b || d == a || d == b) continue;
+        if (!tb.same_plc_network(a, c)) continue;
+        if (ch.mean_snr_db(c, d, 0, sim.now()) < 12.0) continue;
+        const double adv = ch.mean_snr_db(a, b, 0, sim.now()) -
+                           ch.mean_snr_db(c, b, 0, sim.now());
+        if (sa < 0 && adv > 12.0) {
+          sa = a; sb = b; sc = c; sd = d;
+        }
+        if (ia < 0 && adv < 6.0 && adv > -6.0) {
+          ia = a; ib = b; ic = c; id = d;
+        }
+        if (sa >= 0 && ia >= 0) break;
       }
       if (sa >= 0 && ia >= 0) break;
     }
-    if (sa >= 0 && ia >= 0) break;
   }
   std::printf("sensitive pair: probe %d->%d, background %d->%d\n", sa, sb, sc, sd);
   std::printf("insensitive pair: probe %d->%d, background %d->%d\n\n", ia, ib, ic,
               id);
 
+  EFD_PROF_SCOPE("phase.sweep");
   bench::section("sensitive pair (paper: 6-11 with 1-0 background)");
   {
     const auto [b1, d1] = run_pair(tb, sa, sb, sc, sd, 150e3, 1);

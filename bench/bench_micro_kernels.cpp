@@ -358,6 +358,51 @@ void BM_ObsSnapshot(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsSnapshot);
 
+// Profiler scope tiers (DESIGN.md §13). Named prof/... — outside the
+// kernel/ prefix — so the CI speedup gate ignores them. The enabled scope
+// does real work inside so the measured delta is the instrumentation cost
+// on a realistic (non-empty) region, matching the <2% budget the CI
+// compile-out leg checks at whole-bench granularity. Guarded so the
+// compile-out build references no profiler symbol at all (its nm check
+// relies on profile.o never being pulled from the archive).
+#if EFD_OBS_ENABLED
+void BM_ProfScopeEnabled(benchmark::State& state) {
+  const bool was_enabled = obs::prof_enabled();
+  obs::set_prof_enabled(true);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    EFD_PROF_SCOPE("bench.prof.scope");
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    benchmark::DoNotOptimize(v);
+  }
+  obs::set_prof_enabled(was_enabled);
+}
+BENCHMARK(BM_ProfScopeEnabled)->Name("prof/scope_enabled");
+
+void BM_ProfScopeDisabled(benchmark::State& state) {
+  const bool was_enabled = obs::prof_enabled();
+  obs::set_prof_enabled(false);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    EFD_PROF_SCOPE("bench.prof.scope");
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    benchmark::DoNotOptimize(v);
+  }
+  obs::set_prof_enabled(was_enabled);
+}
+BENCHMARK(BM_ProfScopeDisabled)->Name("prof/scope_disabled");
+
+void BM_ProfSnapshot(benchmark::State& state) {
+  {
+    EFD_PROF_SCOPE("bench.prof.scope");  // ensure the tree is non-empty
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::ProfileRegistry::instance().snapshot());
+  }
+}
+BENCHMARK(BM_ProfSnapshot)->Name("prof/snapshot");
+#endif  // EFD_OBS_ENABLED
+
 // --- fault layer overhead (DESIGN.md §10) ---------------------------------
 // The robustness machinery must be free when unused: with no FaultPlan
 // installed an injector schedules nothing, and a HybridDevice without

@@ -114,6 +114,13 @@ class JsonReporter {
   std::string figure_;
   std::chrono::steady_clock::time_point start_;
   std::vector<Metric> metrics_;
+  /// Root profiler scope covering the reporter's lifetime — i.e. the whole
+  /// bench, since every figure bench constructs its reporter first. Member
+  /// destructors run after the destructor body, so this scope is still open
+  /// while ~JsonReporter snapshots; the snapshot's open-frame accounting
+  /// then makes the emitted profile root track the bench wall clock (the CI
+  /// smoke job asserts within 5%).
+  obs::ProfScope prof_{"bench"};
 };
 
 inline void header(const char* figure, const char* title, const char* paper_shape) {

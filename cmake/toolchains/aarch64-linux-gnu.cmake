@@ -1,0 +1,21 @@
+# Cross-compile for aarch64 and run test binaries under qemu-user — the CI
+# leg that keeps the NEON carrier kernels honest on x86 runners. Use with:
+#   cmake -B build-aarch64 -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchains/aarch64-linux-gnu.cmake
+# Requires g++-aarch64-linux-gnu and qemu-user-static (Ubuntu packages).
+
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# ctest/gtest_discover_tests transparently run the cross binaries through
+# qemu; -L points qemu at the target sysroot for the dynamic loader.
+set(CMAKE_CROSSCOMPILING_EMULATOR "qemu-aarch64-static;-L;/usr/aarch64-linux-gnu")
+
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY BOTH)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE BOTH)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE BOTH)

@@ -1,0 +1,173 @@
+#pragma once
+
+// efd::core::Arena — grow-only chunked bump allocator (DESIGN.md §13).
+//
+// Scenario churn (testkit proptest sweeps, ParallelRunner workers) builds
+// and tears down whole Scenario object graphs millions of times; the object
+// lifetimes are strictly nested inside one task, so a bump pointer with a
+// wholesale reset() beats per-object heap traffic. Rules of engagement:
+//
+//  - allocate() never frees; deallocate() is a no-op. reset() rewinds the
+//    bump pointer to the start of the FIRST chunk and keeps every chunk for
+//    reuse, so after warm-up (one task of each size) a reset/rebuild cycle
+//    performs zero heap allocations — the property the proptest zero-alloc
+//    pins assert.
+//  - Anything allocated from an arena must be destroyed (or abandoned — the
+//    arena never runs destructors) BEFORE the next reset(); containers using
+//    ArenaAllocator must not outlive the arena or its reset.
+//  - One arena, one thread: no locks. ParallelRunner gives each worker its
+//    own arena alongside its own Simulator.
+//
+// ArenaAllocator<T> adapts an Arena to the std allocator interface so
+// std::vector and friends can live on it. A default-constructed
+// ArenaAllocator (no arena) falls back to operator new — this keeps arena
+// types usable as ordinary values in tests — and container copies escape to
+// the heap (select_on_container_copy_construction returns the fallback), so
+// a copied Scenario can safely outlive the source arena's reset.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace efd::core {
+
+class Arena {
+ public:
+  /// First chunk size; subsequent chunks double up to kMaxChunkBytes.
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+  static constexpr std::size_t kMaxChunkBytes = 4 * 1024 * 1024;
+
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes)
+      : next_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
+                                                 : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `size` bytes at `align` alignment; never returns nullptr (throws
+  /// std::bad_alloc like operator new on exhaustion).
+  void* allocate(std::size_t size, std::size_t align) {
+    if (size == 0) size = 1;
+    if (chunk_ < chunks_.size()) {
+      void* p = bump(chunks_[chunk_], size, align);
+      if (p != nullptr) return p;
+    }
+    return allocate_slow(size, align);
+  }
+
+  template <class T>
+  T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind to empty, keeping every chunk. O(#chunks), no heap traffic.
+  void reset() {
+    for (auto& c : chunks_) c.used = 0;
+    chunk_ = 0;
+  }
+
+  /// Total bytes handed out since the last reset (diagnostic, includes
+  /// alignment padding).
+  [[nodiscard]] std::size_t bytes_used() const {
+    std::size_t n = 0;
+    for (const auto& c : chunks_) n += c.used;
+    return n;
+  }
+
+  /// Total chunk capacity owned (grows monotonically; warm-up watermark).
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t n = 0;
+    for (const auto& c : chunks_) n += c.data.size();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::vector<std::byte> data;
+    std::size_t used = 0;
+  };
+
+  static void* bump(Chunk& c, std::size_t size, std::size_t align) {
+    const auto base = reinterpret_cast<std::uintptr_t>(c.data.data());
+    const std::uintptr_t aligned = (base + c.used + (align - 1)) & ~(align - 1);
+    const std::size_t offset = static_cast<std::size_t>(aligned - base);
+    if (offset + size > c.data.size()) return nullptr;
+    c.used = offset + size;
+    return c.data.data() + offset;
+  }
+
+  void* allocate_slow(std::size_t size, std::size_t align) {
+    // Advance through already-owned chunks (post-reset reuse) before growing.
+    while (chunk_ + 1 < chunks_.size()) {
+      ++chunk_;
+      if (void* p = bump(chunks_[chunk_], size, align)) return p;
+    }
+    std::size_t want = next_chunk_bytes_;
+    while (want < size + align) want *= 2;
+    chunks_.emplace_back();
+    chunks_.back().data.resize(want);
+    next_chunk_bytes_ = want < kMaxChunkBytes ? want * 2 : kMaxChunkBytes;
+    chunk_ = chunks_.size() - 1;
+    void* p = bump(chunks_.back(), size, align);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;  ///< current bump chunk index
+  std::size_t next_chunk_bytes_;
+};
+
+/// std-allocator adapter. Propagation traits are all false and copies
+/// "escape" to the heap-fallback allocator, so container copy/move across
+/// arena boundaries follows value semantics instead of dangling into a
+/// reset arena. Equality compares the arena pointer: two heap-fallback
+/// allocators are equal, two different arenas are not.
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory is reclaimed wholesale by Arena::reset().
+  }
+
+  /// Container copies get the heap fallback, never the source's arena.
+  [[nodiscard]] ArenaAllocator select_on_container_copy_construction() const {
+    return ArenaAllocator{};
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <class U>
+  [[nodiscard]] bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace efd::core

@@ -77,6 +77,7 @@ const PowerGrid::BandProfiles& PowerGrid::ensure_profiles(const CarrierBand& ban
     }
   }
   EFD_COUNTER_INC("grid.profiles.rebuilds");
+  EFD_PROF_SCOPE("grid.profiles");  // rebuild path only; hits return above
   BandProfiles p;
   p.band = band;
   const auto n = static_cast<std::size_t>(band.n_carriers);
@@ -103,6 +104,7 @@ const PowerGrid::BandProfiles& PowerGrid::ensure_profiles(const CarrierBand& ban
 
 void PowerGrid::ensure_distances() const {
   if (distances_valid_) return;
+  EFD_PROF_SCOPE("grid.distances");
   const auto n = names_.size();
   dist_.assign(n * n, kInf);
   extra_.assign(n * n, 0.0);
@@ -195,6 +197,7 @@ void PowerGrid::attenuation_db(int a, int b, const CarrierBand& band, sim::Time 
 void PowerGrid::attenuation_into(int a, int b, const CarrierBand& band, sim::Time t,
                                  double* out) const {
   EFD_COUNTER_INC("grid.atten.queries");
+  EFD_PROF_SCOPE("grid.atten");
   ensure_distances();
   assert(a >= 0 && a < node_count() && b >= 0 && b < node_count());
   const simd::CarrierKernels& kernels = simd::active_kernels();
@@ -237,6 +240,10 @@ void PowerGrid::attenuation_into(int a, int b, const CarrierBand& band, sim::Tim
   // Cable loss is affine in carrier frequency, so the whole base spectrum is
   // one affine map of the precomputed carrier-frequency vector.
   const double base_db = kCableLossPerM * d + lumped_db + injection_db + drift_db;
+  // The batched carrier work attributes to the live dispatch entry
+  // ("scalar"/"avx2"/"neon"), so the profile tree separates per-carrier
+  // kernel time from the per-appliance scalar prologue above.
+  EFD_PROF_SCOPE(kernels.name);
   kernels.affine_n(base_db, kCableLossPerMMhz * d, prof.freq_mhz.data(), out, n);
 
   // Multipath notches from impedance mismatches of powered appliances near
@@ -277,6 +284,7 @@ void PowerGrid::noise_psd_into(int b, const CarrierBand& band, sim::Time t,
                                int slot, int n_slots, double* power,
                                double* out) const {
   EFD_COUNTER_INC("grid.noise.queries");
+  EFD_PROF_SCOPE("grid.noise");
   ensure_distances();
   assert(b >= 0 && b < node_count());
   assert(slot >= 0 && slot < n_slots);
@@ -293,6 +301,7 @@ void PowerGrid::noise_psd_into(int b, const CarrierBand& band, sim::Time t,
   // Each appliance factors into (per-query scalar) x (precomputed spectral
   // profile), so the inner loop carries no transcendentals.
   std::fill(power, power + n, 1.0 + db_to_linear(bg_db));
+  EFD_PROF_SCOPE(kernels.name);
   for (int k : noise_neighbors_[static_cast<std::size_t>(b)]) {
     const Appliance& j = appliances_[static_cast<std::size_t>(k)];
     if (!j.schedule.is_on(t)) continue;

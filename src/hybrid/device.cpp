@@ -31,6 +31,7 @@ HybridDevice::HybridDevice(sim::Simulator& simulator,
 }
 
 bool HybridDevice::enqueue(const net::Packet& p) {
+  EFD_PROF_SCOPE("hybrid.enqueue");
   int i = scheduler_->pick(p);
   assert(i >= 0 && i < static_cast<int>(interfaces_.size()));
   if (failover_ && !live_[static_cast<std::size_t>(i)]) {

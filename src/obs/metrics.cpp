@@ -1,5 +1,7 @@
 #include "src/obs/metrics.hpp"
 
+#include "src/obs/profile.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -184,7 +186,8 @@ void append_double(std::string& out, double v) {
 
 }  // namespace
 
-std::string MetricsSnapshot::to_json(int indent) const {
+std::string MetricsSnapshot::to_json(int indent,
+                                     std::string_view profile_json) const {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   std::string out = "{\n";
   out += pad + "  \"counters\": {";
@@ -224,13 +227,31 @@ std::string MetricsSnapshot::to_json(int indent) const {
     }
     out += "}}";
   }
-  out += histograms.empty() ? "}\n" : "\n" + pad + "  }\n";
+  if (profile_json.empty()) {
+    out += histograms.empty() ? "}\n" : "\n" + pad + "  }\n";
+  } else {
+    out += histograms.empty() ? "},\n" : "\n" + pad + "  },\n";
+    out += pad + "  \"profile\": ";
+    out += profile_json;
+    out += "\n";
+  }
   out += pad + "}";
   return out;
 }
 
 std::string snapshot_json(int indent) {
+#if EFD_OBS_ENABLED
+  // Embedding is conditional on the compile-time tier, not the runtime
+  // switch: an EFD_OBS_ENABLED=0 build must not pull ProfileRegistry out of
+  // the archive (the CI compile-out leg asserts no profiler symbols), while
+  // a runtime-disabled profiler still reports {"enabled": false, ...} so
+  // consumers can tell "off" from "absent".
+  const std::string profile =
+      ProfileRegistry::instance().snapshot().to_json(indent + 2);
+  return MetricsRegistry::instance().snapshot().to_json(indent, profile);
+#else
   return MetricsRegistry::instance().snapshot().to_json(indent);
+#endif
 }
 
 }  // namespace efd::obs

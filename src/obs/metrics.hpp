@@ -86,8 +86,12 @@ struct MetricsSnapshot {
   /// Render as a JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, buckets}}}. `indent` spaces prefix
   /// every line after the first, so the block nests inside another document
-  /// (the bench JSON embeds it this way).
-  [[nodiscard]] std::string to_json(int indent = 0) const;
+  /// (the bench JSON embeds it this way). A non-empty `profile_json` (an
+  /// already-rendered JSON object, see ProfileSnapshot::to_json) is embedded
+  /// verbatim as a trailing "profile" key — snapshot_json() passes the
+  /// profiler's fold so every exported snapshot carries the flamegraph.
+  [[nodiscard]] std::string to_json(int indent = 0,
+                                    std::string_view profile_json = {}) const;
 };
 
 class MetricsRegistry {

@@ -9,6 +9,7 @@
 // compiling with EFD_OBS_ENABLED=0 removes the call sites entirely.
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/profile.hpp"
 #include "src/obs/trace.hpp"
 
 #if EFD_OBS_ENABLED
@@ -47,6 +48,13 @@
 #define EFD_TRACE_SPAN(cat, name) \
   ::efd::obs::ScopedSpan EFD_OBS_CONCAT(efd_obs_span_, __LINE__)(cat, name)
 
+/// Hierarchical profiler period covering the rest of the enclosing scope.
+/// `name` is a const char* that must outlive the process (string literal or
+/// the carrier dispatch table's static entry names); nesting builds the
+/// flamegraph tree emitted as "profile" by snapshot_json (DESIGN.md §13).
+#define EFD_PROF_SCOPE(name) \
+  ::efd::obs::ProfScope EFD_OBS_CONCAT(efd_obs_prof_, __LINE__)(name)
+
 #else  // !EFD_OBS_ENABLED — every macro compiles to nothing.
 
 #define EFD_COUNTER_ADD(name, v) \
@@ -66,6 +74,9 @@
   } while (0)
 #define EFD_TRACE_SPAN(cat, name) \
   do {                            \
+  } while (0)
+#define EFD_PROF_SCOPE(name) \
+  do {                       \
   } while (0)
 
 #endif  // EFD_OBS_ENABLED

@@ -103,6 +103,7 @@ void ChannelEstimator::clamp_to_rate(ToneMap& map, double rate_mbps,
 }
 
 void ChannelEstimator::retune(sim::Time now, bool error_triggered) {
+  EFD_PROF_SCOPE("plc.tonemap_adapt");
   const PhyParams& phy = channel_.phy();
   if (error_triggered) {
     // Severity-scaled back-off: *sustained* error pressure (capture-effect

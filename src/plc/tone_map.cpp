@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/grid/db_units.hpp"
+#include "src/obs/obs.hpp"
 
 namespace efd::plc {
 
@@ -27,6 +28,7 @@ double fec_waterfall(double mean_ber) {
 }  // namespace
 
 void ToneMap::recompute() {
+  EFD_PROF_SCOPE("plc.tonemap_recompute");
   const std::size_t n = carriers_.size();
   const std::int32_t row_len = ber_lut_view().size;
   lut_rows_.resize(n);
@@ -94,6 +96,8 @@ double ToneMap::pb_error_probability(
     std::span<const double> actual_snr_db, const PhyParams& phy,
     const grid::simd::CarrierKernels& kernels) const {
   (void)phy;
+  EFD_PROF_SCOPE("plc.pberr");
+  EFD_PROF_SCOPE(kernels.name);  // nests under plc.pberr
   assert(actual_snr_db.size() == carriers_.size());
   if (robo_repetitions_ > 1) {
     // ROBO interleaves each bit's copies across *different* carriers, so a

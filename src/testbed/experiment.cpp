@@ -41,9 +41,12 @@ ThroughputResult measure(net::Interface& tx, net::Interface& rx,
   // Wall-clock per simulated second: the hot-path health number every
   // scaling PR watches (lower is faster; ratio < 1 means faster than
   // real time).
-  const double wall_s = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - wall_start)
-                            .count();
+  // [[maybe_unused]]: EFD_GAUGE_SET does not evaluate its arguments when
+  // the observability layer is compiled out (EFD_OBS_ENABLED=0).
+  [[maybe_unused]] const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   if (duration.seconds() > 0.0) {
     EFD_GAUGE_SET("sim.wall_sim_ratio", wall_s / duration.seconds());
   }

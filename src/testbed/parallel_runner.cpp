@@ -22,10 +22,12 @@ void ParallelRunner::run(int n_tasks, const std::function<void(int)>& fn) const 
   const int workers = std::min(n_threads_, n_tasks);
   EFD_GAUGE_SET("testbed.workers", workers);
   EFD_TRACE_SPAN("testbed", "parallel_run");
+  EFD_PROF_SCOPE("testbed.parallel_run");
   if (workers <= 1) {
     // Serial fast path: same claim order, no thread machinery.
     for (int i = 0; i < n_tasks; ++i) {
       EFD_TRACE_SPAN("testbed", "task");
+      EFD_PROF_SCOPE("testbed.task");
       fn(i);
       EFD_COUNTER_INC("testbed.tasks_run");
     }
@@ -44,6 +46,7 @@ void ParallelRunner::run(int n_tasks, const std::function<void(int)>& fn) const 
           if (i >= n_tasks) return;
           try {
             EFD_TRACE_SPAN("testbed", "task");
+            EFD_PROF_SCOPE("testbed.task");
             fn(i);
             EFD_COUNTER_INC("testbed.tasks_run");
           } catch (...) {
@@ -59,16 +62,28 @@ void ParallelRunner::run(int n_tasks, const std::function<void(int)>& fn) const 
 
 void ParallelRunner::run_with_sim(
     int n_tasks, const std::function<void(int, sim::Simulator&)>& fn) const {
+  run_with_sim(n_tasks, [&fn](int i, sim::Simulator& sim, core::Arena&) {
+    fn(i, sim);
+  });
+}
+
+void ParallelRunner::run_with_sim(
+    int n_tasks,
+    const std::function<void(int, sim::Simulator&, core::Arena&)>& fn) const {
   if (n_tasks <= 0) return;
   const int workers = std::min(n_threads_, n_tasks);
   EFD_GAUGE_SET("testbed.workers", workers);
   EFD_TRACE_SPAN("testbed", "parallel_run");
+  EFD_PROF_SCOPE("testbed.parallel_run");
   if (workers <= 1) {
     sim::Simulator sim;
+    core::Arena arena;
     for (int i = 0; i < n_tasks; ++i) {
       EFD_TRACE_SPAN("testbed", "task");
+      EFD_PROF_SCOPE("testbed.task");
       sim.reset();
-      fn(i, sim);
+      arena.reset();
+      fn(i, sim, arena);
       EFD_COUNTER_INC("testbed.tasks_run");
       EFD_COUNTER_INC("testbed.sim_reuses");
     }
@@ -83,13 +98,16 @@ void ParallelRunner::run_with_sim(
     for (int w = 0; w < workers; ++w) {
       pool.emplace_back([&] {
         sim::Simulator sim;  // worker-lifetime engine, reset between tasks
+        core::Arena arena;   // worker-lifetime scenario storage, ditto
         for (;;) {
           const int i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n_tasks) return;
           try {
             EFD_TRACE_SPAN("testbed", "task");
+            EFD_PROF_SCOPE("testbed.task");
             sim.reset();
-            fn(i, sim);
+            arena.reset();
+            fn(i, sim, arena);
             EFD_COUNTER_INC("testbed.tasks_run");
             EFD_COUNTER_INC("testbed.sim_reuses");
           } catch (...) {

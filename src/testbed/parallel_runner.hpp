@@ -3,6 +3,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/core/arena.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace efd::testbed {
@@ -51,6 +52,16 @@ class ParallelRunner {
   void run_with_sim(
       int n_tasks, const std::function<void(int, sim::Simulator&)>& fn) const;
 
+  /// Arena variant: alongside its Simulator, each worker owns ONE
+  /// core::Arena, reset() before every task. Scenario-sized object graphs
+  /// built from it are torn down wholesale, so after warm-up a task's
+  /// construction/teardown performs zero heap allocations (the proptest
+  /// zero-alloc pins). Anything the task allocates from the arena must die
+  /// with the task — the next task's reset() reclaims the memory.
+  void run_with_sim(
+      int n_tasks,
+      const std::function<void(int, sim::Simulator&, core::Arena&)>& fn) const;
+
   /// Map variant of run_with_sim: `results[i] = fn(i, worker_sim)`.
   template <typename R>
   [[nodiscard]] std::vector<R> map_with_sim(
@@ -59,6 +70,22 @@ class ParallelRunner {
     run_with_sim(n_tasks, [&](int i, sim::Simulator& sim) {
       results[static_cast<std::size_t>(i)] = fn(i, sim);
     });
+    return results;
+  }
+
+  /// Map variant of the arena overload: `results[i] = fn(i, sim, arena)`.
+  /// Results are copied out of the task, so they must not themselves hold
+  /// arena-backed storage (Scenario's copy constructor escapes to the heap;
+  /// see ArenaAllocator::select_on_container_copy_construction).
+  template <typename R>
+  [[nodiscard]] std::vector<R> map_with_sim(
+      int n_tasks,
+      const std::function<R(int, sim::Simulator&, core::Arena&)>& fn) const {
+    std::vector<R> results(static_cast<std::size_t>(n_tasks));
+    run_with_sim(n_tasks,
+                 [&](int i, sim::Simulator& sim, core::Arena& arena) {
+                   results[static_cast<std::size_t>(i)] = fn(i, sim, arena);
+                 });
     return results;
   }
 

@@ -75,10 +75,15 @@ ProptestReport run_proptest(std::uint64_t seed, int n, const ProptestOptions& op
                               ? testbed::ParallelRunner::env_threads()
                               : 0);
   testbed::ParallelRunner runner(threads);
+  // Per-task storage discipline: the scenario's lists live on the worker's
+  // arena (reset before every task), so after each worker has warmed up its
+  // chunk the whole generate/check/teardown cycle is heap-free. The
+  // ScenarioVerdict result is plain value data and owns no arena storage.
   const std::vector<ScenarioVerdict> verdicts =
       runner.map_with_sim<ScenarioVerdict>(
-          n, [&gen, &opts](int i, sim::Simulator& sim) {
-            const Scenario s = gen.generate(static_cast<std::uint64_t>(i));
+          n, [&gen, &opts](int i, sim::Simulator& sim, core::Arena& arena) {
+            Scenario s(arena);
+            gen.generate_into(static_cast<std::uint64_t>(i), s);
             return check_scenario_with(s, sim, opts);
           });
 

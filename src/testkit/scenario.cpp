@@ -73,10 +73,20 @@ std::string Scenario::describe() const {
 }
 
 Scenario ScenarioGen::generate(std::uint64_t index) const {
+  Scenario s;
+  generate_into(index, s);
+  return s;
+}
+
+void ScenarioGen::generate_into(std::uint64_t index, Scenario& s) const {
   // One substream per scenario index: scenario i is a pure function of
   // (seed, i), independent of how many scenarios were drawn before it.
   sim::Rng rng = sim::Rng{seed_}.fork(index + 1);
-  Scenario s;
+  // Restore default field values while keeping s's allocators: vector move
+  // assignment does not propagate ArenaAllocator (POCMA is false), so an
+  // arena-backed Scenario stays arena-backed, and the empty temporary
+  // touches no heap.
+  s = Scenario{};
   s.gen_seed = seed_;
   s.index = index;
   s.world_seed = seed_ ^ (0x9e3779b97f4a7c15ULL * (index + 1));
@@ -162,7 +172,6 @@ Scenario ScenarioGen::generate(std::uint64_t index) const {
   s.hybrid.dup_prob = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.05) : 0.0;
   s.hybrid.reorder_jitter_ms = rng.uniform(0.5, 30.0);
   s.hybrid.gap_timeout_ms = rng.uniform(5.0, 60.0);
-  return s;
 }
 
 namespace {

@@ -3,6 +3,8 @@
 #include <bit>
 #include <string>
 
+#include "src/obs/obs.hpp"
+
 namespace efd::testkit {
 
 namespace {
@@ -61,6 +63,7 @@ std::uint64_t RunTrace::digest() const {
 
 ScenarioWorld::ScenarioWorld(const Scenario& scenario, sim::Simulator& sim)
     : scenario_(scenario), sim_(sim) {
+  EFD_PROF_SCOPE("testkit.world_build");
   for (int i = 0; i < scenario_.n_outlets; ++i) {
     grid_.add_node("o" + std::to_string(i));
   }
@@ -148,6 +151,7 @@ ScenarioWorld::~ScenarioWorld() {
 }
 
 RunTrace ScenarioWorld::run() {
+  EFD_PROF_SCOPE("testkit.scenario_run");
   const sim::Time start = scenario_.start_time();
   const sim::Time end = start + scenario_.duration();
   sim_.run_until(start);

@@ -22,23 +22,34 @@ namespace efd::testsupport {
 /// Heap allocations since process start (every operator new, any thread).
 inline std::atomic<std::uint64_t> g_allocations{0};
 
+/// Bytes requested from operator new since process start (requested, not
+/// rounded-up — enough to pin "how much" as well as "how often").
+inline std::atomic<std::uint64_t> g_allocated_bytes{0};
+
 /// Allocations performed while an instance is alive. Construct, run the code
-/// under test, then read `count()`.
+/// under test, then read `count()` / `bytes()`.
 class AllocationWindow {
  public:
-  AllocationWindow() : start_(g_allocations.load()) {}
+  AllocationWindow()
+      : start_(g_allocations.load()), start_bytes_(g_allocated_bytes.load()) {}
   [[nodiscard]] std::uint64_t count() const {
     return g_allocations.load() - start_;
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return g_allocated_bytes.load() - start_bytes_;
   }
 
  private:
   std::uint64_t start_;
+  std::uint64_t start_bytes_;
 };
 
 }  // namespace efd::testsupport
 
 void* operator new(std::size_t size) {
   efd::testsupport::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  efd::testsupport::g_allocated_bytes.fetch_add(size,
+                                                std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }

@@ -25,8 +25,19 @@ TEST(ObsDisabledTest, MacrosAddZeroAllocations) {
     EFD_HISTO_OBSERVE("disabled.histogram", i);
     EFD_TRACE_EVENT("disabled", "event");
     EFD_TRACE_SPAN("disabled", "span");
+    EFD_PROF_SCOPE("disabled.prof");
   }
   EXPECT_EQ(window.count(), 0u);
+  EXPECT_EQ(window.bytes(), 0u);
+}
+
+TEST(ObsDisabledTest, ProfScopeIsAnEmptyClass) {
+  // The compiled-out ProfScope must carry no state: if it grew any, the
+  // EFD_PROF_SCOPE expansion would no longer be free in disabled builds.
+  // (The absent-"profile"-key and no-profiler-symbols properties need the
+  // whole project built with EFD_OBS_ENABLED=0 — the CI compile-out leg
+  // asserts those with nm on bench_micro_kernels.)
+  EXPECT_EQ(sizeof(obs::ProfScope), 1u);  // empty class minimum
 }
 
 TEST(ObsDisabledTest, MacrosRegisterNothing) {

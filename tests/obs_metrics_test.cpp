@@ -102,9 +102,14 @@ TEST_F(ObsMetricsTest, MergeIsIndependentOfWorkerCount) {
 TEST_F(ObsMetricsTest, SnapshotIsDeterministicForFixedSeeds) {
   // A real instrumented workload (channel estimator over a small grid):
   // identical seeds must produce byte-identical snapshots, counters and
-  // histogram cells included — the property CI diffs rely on.
+  // histogram cells included — the property CI diffs rely on. The profiler
+  // is runtime-disabled here: its embedded timings are wall-clock based and
+  // can never be byte-stable.
+  const bool prof_was_enabled = obs::prof_enabled();
+  obs::set_prof_enabled(false);
   const auto run_workload = [] {
     obs::MetricsRegistry::instance().reset();
+    obs::ProfileRegistry::instance().reset();
     grid::PowerGrid pg;
     const int a = pg.add_node("a");
     const int j = pg.add_node("j");
@@ -130,6 +135,7 @@ TEST_F(ObsMetricsTest, SnapshotIsDeterministicForFixedSeeds) {
   };
   const std::string first = run_workload();
   const std::string second = run_workload();
+  obs::set_prof_enabled(prof_was_enabled);
   EXPECT_EQ(first, second);
   // The workload actually exercised the instrumentation.
   EXPECT_NE(first.find("plc.est.tonemap_updates"), std::string::npos);

@@ -15,6 +15,12 @@ Two kinds of checks:
     drift with the machine; the check fails only on a relative regression
     beyond --max-regress (default 0.25, the ">25%" CI gate). Improvements
     never fail.
+  * Profile phases — when both documents embed a profiler tree
+    (metrics_snapshot.profile), the top-level bench phases are diffed and
+    shifts beyond --max-regress are printed as warnings, pointing at WHERE
+    a wall-clock regression happened. Warn-only: phase timings are noisier
+    than the wall clock they decompose. Skipped silently when either file
+    lacks a profile.
 
 A second input format is detected automatically: google-benchmark JSON
 (`--benchmark_format=json` output with a top-level "benchmarks" array, as
@@ -165,6 +171,51 @@ def compare_kernels(cur, base, args):
     return failures
 
 
+def profile_phases(doc):
+    """name -> total_ns of the bench's top-level profiler phases.
+
+    Figure benches nest their phases ("phase.setup", "phase.sweep", ...)
+    directly under the reporter's root "bench" scope; this returns those
+    children. None when the document carries no profile block (old baseline,
+    compiled-out build) or the tree has no "bench" root.
+    """
+    profile = doc.get("metrics_snapshot", {}).get("profile")
+    if not isinstance(profile, dict):
+        return None
+    for top in profile.get("root", {}).get("children", []):
+        if top.get("name") == "bench":
+            return {c["name"]: c["total_ns"] for c in top.get("children", [])
+                    if isinstance(c.get("total_ns"), int)}
+    return None
+
+
+def warn_profile_diff(cur, base, max_regress):
+    """Warn-only per-phase comparison of the embedded profiles.
+
+    Phase timings answer "WHERE did the run get slower", which the
+    wall-clock gate cannot; but they inherit all of its machine noise plus
+    scheduling jitter, so a shifted phase is a hint for the human reading
+    the CI log, never a failure. Silent when either document predates the
+    profiler.
+    """
+    cur_p, base_p = profile_phases(cur), profile_phases(base)
+    if cur_p is None or base_p is None:
+        return
+    for name, base_ns in sorted(base_p.items()):
+        cur_ns = cur_p.get(name)
+        if cur_ns is None:
+            print(f"  warn profile phase '{name}' missing from current run")
+            continue
+        if base_ns <= 0:
+            continue
+        ratio = cur_ns / base_ns
+        status = "ok" if ratio <= 1.0 + max_regress else "warn"
+        print(f"  {status:4s}profile {name:24s} {cur_ns / 1e9:.3f}s vs baseline "
+              f"{base_ns / 1e9:.3f}s ({(ratio - 1.0) * 100.0:+.1f}%, warn-only)")
+    for name in sorted(set(cur_p) - set(base_p)):
+        print(f"  warn profile phase '{name}' absent from baseline")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -231,6 +282,9 @@ def main():
             failures.append(
                 f"perf metric '{name}' regressed {(ratio - 1.0) * 100.0:.1f}%"
                 f" (> {args.max_regress * 100.0:.0f}% allowed)")
+
+    # --- profile: per-phase attribution, warn-only ------------------------
+    warn_profile_diff(cur, base, args.max_regress)
 
     if failures:
         print(f"\nbench_compare: {len(failures)} failure(s):", file=sys.stderr)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Render the flamegraph tree embedded in a BENCH_*.json to readable text.
+
+Every figure bench emits its efd::obs snapshot, and since the profiler
+landed that snapshot carries a "profile" block: the folded call tree of the
+run (one line per scope here, indented by depth, with inclusive time, share
+of the root, self time and call count).
+
+    ./tools/render_profile.py BENCH_fig03.json
+    ./tools/render_profile.py BENCH_fig03.json --max-wall-delta 0.05
+
+With --max-wall-delta the script also asserts the profiler accounted for
+the whole run: |root_total - wall_clock| <= delta * wall_clock. CI's bench
+smoke uses this as the "the attribution is trustworthy" gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:8.3f}s "
+    if ns >= 1e6:
+        return f"{ns / 1e6:8.3f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:8.3f}us"
+    return f"{ns:8.0f}ns"
+
+
+def render(node, root_total, depth=0, out=sys.stdout):
+    share = 100.0 * node["total_ns"] / root_total if root_total > 0 else 0.0
+    name = "  " * depth + node["name"]
+    out.write(
+        f"{name:<44} {fmt_ns(node['total_ns'])} {share:5.1f}%  "
+        f"self {fmt_ns(node['self_ns'])}  x{node['count']}\n"
+    )
+    for child in node["children"]:
+        render(child, root_total, depth + 1, out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", help="a BENCH_*.json with an embedded profile")
+    ap.add_argument(
+        "--max-wall-delta",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fail unless |profile root - wall_clock_s| <= FRAC * wall_clock_s",
+    )
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        doc = json.load(f)
+    profile = doc.get("metrics_snapshot", {}).get("profile")
+    if profile is None:
+        print(f"{args.bench_json}: no profile block (compiled out or old run)")
+        return 1 if args.max_wall_delta is not None else 0
+
+    root = profile["root"]
+    print(f"# {args.bench_json}: {profile['threads']} thread(s), "
+          f"cpu {profile['cpu_total_ns'] / 1e9:.3f}s, "
+          f"dropped {profile['dropped']}")
+    render(root, root["total_ns"])
+
+    if args.max_wall_delta is not None:
+        wall_s = doc["wall_clock_s"]
+        root_s = root["total_ns"] / 1e9
+        delta = abs(root_s - wall_s) / wall_s if wall_s > 0 else float("inf")
+        print(f"# root {root_s:.3f}s vs wall {wall_s:.3f}s "
+              f"(delta {100 * delta:.2f}%, budget {100 * args.max_wall_delta:.0f}%)")
+        if delta > args.max_wall_delta:
+            print("# FAIL: profile root does not account for the run")
+            return 1
+        if profile["dropped"] > 0:
+            print(f"# FAIL: {profile['dropped']} scopes dropped (pool/stack "
+                  "exhausted) — the tree is incomplete")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

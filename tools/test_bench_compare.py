@@ -152,6 +152,80 @@ class BenchCompareTest(CompareTestBase):
         self.assertEqual(r.returncode, 2)
 
 
+def pnode(name, total_ns, *children):
+    return {"name": name, "count": 1, "total_ns": total_ns,
+            "self_ns": total_ns, "threads": [], "children": list(children)}
+
+
+def with_profile(d, *phases):
+    """Attach a metrics_snapshot.profile with the given (name, ns) phases."""
+    total = sum(ns for _, ns in phases)
+    bench = pnode("bench", total, *(pnode(n, ns) for n, ns in phases))
+    d = dict(d)
+    d["metrics_snapshot"] = {
+        "profile": {"enabled": True, "threads": 1, "cpu_total_ns": total,
+                    "dropped": 0, "root": pnode("(root)", total, bench)}}
+    return d
+
+
+class ProfilePhaseDiffTest(CompareTestBase):
+    """The embedded-profile phase diff is advisory: warnings, never failures."""
+
+    def test_shifted_phase_warns_but_passes(self):
+        base = with_profile(doc([metric("median_mbps", 87.5)]),
+                            ("phase.setup", 100_000_000),
+                            ("phase.sweep", 1_000_000_000))
+        cur = with_profile(doc([metric("median_mbps", 87.5)]),
+                           ("phase.setup", 100_000_000),
+                           ("phase.sweep", 3_000_000_000))  # 3x slower sweep
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("warn", r.stdout)
+        self.assertIn("phase.sweep", r.stdout)
+
+    def test_stable_phases_print_ok(self):
+        d = with_profile(doc([metric("median_mbps", 87.5)]),
+                         ("phase.setup", 100_000_000),
+                         ("phase.sweep", 1_000_000_000))
+        r = self.run_compare(self.write("cur.json", d),
+                             self.write("base.json", d))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("profile phase.setup", r.stdout)
+        self.assertIn("profile phase.sweep", r.stdout)
+
+    def test_missing_and_new_phases_warn_but_pass(self):
+        base = with_profile(doc([]), ("phase.old", 100_000_000))
+        cur = with_profile(doc([]), ("phase.new", 100_000_000))
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("'phase.old' missing from current run", r.stdout)
+        self.assertIn("'phase.new' absent from baseline", r.stdout)
+
+    def test_profileless_baseline_is_silently_skipped(self):
+        # Committed baselines predate the profiler; comparing against them
+        # must neither warn nor fail.
+        base = doc([metric("median_mbps", 87.5)])
+        cur = with_profile(doc([metric("median_mbps", 87.5)]),
+                           ("phase.sweep", 1_000_000_000))
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertNotIn("profile", r.stdout)
+
+    def test_profile_rides_free_on_shape_failure(self):
+        # The profile block must not mask or alter the shape verdict.
+        base = with_profile(doc([metric("median_mbps", 87.5)]),
+                            ("phase.sweep", 1_000_000_000))
+        cur = with_profile(doc([metric("median_mbps", 99.9)]),
+                           ("phase.sweep", 1_000_000_000))
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("drifted", r.stderr)
+
+
 def gbench(*entries):
     return {"context": {"num_cpus": 1}, "benchmarks": list(entries)}
 
