@@ -55,4 +55,10 @@ void PlcNetwork::reset_link_estimation(net::StationId tx, net::StationId rx) {
   estimator(rx, tx).reset(sim_.now());
 }
 
+bool PlcNetwork::inject_boundary(const net::Packet& p) {
+  assert(gateway_ >= 0 && "inject_boundary before set_boundary_gateway");
+  ++boundary_ingress_;
+  return station(gateway_).mac().enqueue(p);
+}
+
 }  // namespace efd::plc

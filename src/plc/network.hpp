@@ -53,6 +53,24 @@ class PlcNetwork final : public EstimatorDirectory {
   /// paper power-cycles devices between convergence runs, §7.1).
   void reset_link_estimation(net::StationId tx, net::StationId rx);
 
+  /// Mark `id` as this AVLN's boundary gateway: the station through which
+  /// ALL off-board traffic enters and leaves. The medium itself never
+  /// crosses a distribution board (the sharded engine keeps it cell-local);
+  /// the gateway is the one explicit crossing point.
+  void set_boundary_gateway(net::StationId id) { gateway_ = id; }
+  [[nodiscard]] net::StationId boundary_gateway() const { return gateway_; }
+
+  /// Ingress half of a boundary crossing: hand a packet that arrived from
+  /// another board to the gateway MAC, which contends for the local medium
+  /// like any station. Returns false when the gateway queue drops it.
+  bool inject_boundary(const net::Packet& p);
+
+  /// Egress accounting: the campus layer calls this when the gateway hands
+  /// a packet off-board.
+  void record_boundary_egress() { ++boundary_egress_; }
+  [[nodiscard]] std::uint64_t boundary_ingress() const { return boundary_ingress_; }
+  [[nodiscard]] std::uint64_t boundary_egress() const { return boundary_egress_; }
+
  private:
   sim::Simulator& sim_;
   const PlcChannel& channel_;
@@ -61,6 +79,9 @@ class PlcNetwork final : public EstimatorDirectory {
   PlcMedium medium_;
   std::map<net::StationId, std::unique_ptr<PlcStation>> stations_;
   net::StationId cco_ = -1;
+  net::StationId gateway_ = -1;
+  std::uint64_t boundary_ingress_ = 0;
+  std::uint64_t boundary_egress_ = 0;
   std::uint64_t rng_streams_ = 0;
 };
 

@@ -1,0 +1,247 @@
+#include "src/sim/sharded.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "src/core/env.hpp"
+#include "src/obs/obs.hpp"
+
+namespace efd::sim {
+
+namespace {
+
+constexpr std::int64_t kForever = std::numeric_limits<std::int64_t>::max();
+
+[[nodiscard]] std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(Config cfg) : cfg_(std::move(cfg)) {
+  assert(cfg_.n_cells >= 1);
+  n_shards_ = std::clamp(cfg_.n_shards, 1, cfg_.n_cells);
+
+  const auto n = static_cast<std::size_t>(cfg_.n_cells);
+  shard_of_.resize(n);
+  for (int c = 0; c < cfg_.n_cells; ++c) {
+    // Balanced contiguous blocks: cell c belongs to shard floor(c*k/n).
+    shard_of_[static_cast<std::size_t>(c)] = static_cast<int>(
+        (static_cast<std::int64_t>(c) * n_shards_) / cfg_.n_cells);
+  }
+
+  shards_.reserve(static_cast<std::size_t>(n_shards_));
+  for (int s = 0; s < n_shards_; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (int c = 0; c < cfg_.n_cells; ++c) {
+    shards_[static_cast<std::size_t>(shard_of(c))]->cells.push_back(c);
+  }
+
+  handlers_.resize(n);
+  stats_.resize(static_cast<std::size_t>(n_shards_));
+  link_index_.assign(n * n, -1);
+  mail_.reserve(cfg_.links.size());
+
+  for (std::size_t li = 0; li < cfg_.links.size(); ++li) {
+    const Link& l = cfg_.links[li];
+    assert(l.src >= 0 && l.src < cfg_.n_cells);
+    assert(l.dst >= 0 && l.dst < cfg_.n_cells);
+    assert(l.src != l.dst && "a cell does not link to itself");
+    assert(l.lookahead > Time{} && "conservative sync needs lookahead > 0");
+    assert(link_index_[static_cast<std::size_t>(l.src) * n +
+                       static_cast<std::size_t>(l.dst)] < 0 &&
+           "duplicate directed link");
+    link_index_[static_cast<std::size_t>(l.src) * n +
+                static_cast<std::size_t>(l.dst)] = static_cast<int>(li);
+    mail_.push_back(std::make_unique<SpscMailbox>());
+
+    Shard& dst_shard = *shards_[static_cast<std::size_t>(shard_of(l.dst))];
+    dst_shard.inbound.push_back(Inbound{static_cast<int>(li), l.src, l.dst,
+                                        shard_of(l.src) != shard_of(l.dst)});
+  }
+
+  for (const auto& shard : shards_) {
+    Shard& s = *shard;
+    // Deterministic arrival-merge order: arrivals at an equal timestamp are
+    // consumed in (src_cell, dst_cell) order, independent of the grouping.
+    std::sort(s.inbound.begin(), s.inbound.end(),
+              [](const Inbound& a, const Inbound& b) {
+                if (a.src_cell != b.src_cell) return a.src_cell < b.src_cell;
+                return a.dst_cell < b.dst_cell;
+              });
+    std::int64_t intra = 0;
+    for (const Inbound& in : s.inbound) {
+      const std::int64_t la = cfg_.links[static_cast<std::size_t>(in.link)]
+                                  .lookahead.ns();
+      if (in.inter) {
+        const int src_shard = shard_of(in.src_cell);
+        auto it = std::find_if(s.horizon_terms.begin(), s.horizon_terms.end(),
+                               [&](const auto& t) { return t.first == src_shard; });
+        if (it == s.horizon_terms.end()) {
+          s.horizon_terms.emplace_back(src_shard, la);
+        } else {
+          it->second = std::min(it->second, la);
+        }
+      } else {
+        intra = intra == 0 ? la : std::min(intra, la);
+      }
+    }
+    s.lookahead_intra_ns = intra;
+  }
+}
+
+void ShardedSimulator::set_cell_handler(int cell, CellHandler handler) {
+  handlers_[static_cast<std::size_t>(cell)] = std::move(handler);
+}
+
+void ShardedSimulator::post(const BoundaryEvent& e) {
+  const auto n = static_cast<std::size_t>(cfg_.n_cells);
+  const int li = link_index_[static_cast<std::size_t>(e.src_cell) * n +
+                             static_cast<std::size_t>(e.dst_cell)];
+  assert(li >= 0 && "post over an undeclared boundary link");
+  assert(e.t_ns >= cell_sim(e.src_cell).now().ns() +
+                       cfg_.links[static_cast<std::size_t>(li)].lookahead.ns() &&
+         "boundary event violates the link's lookahead");
+  mail_[static_cast<std::size_t>(li)]->push(e);
+  ++stats_[static_cast<std::size_t>(shard_of(e.src_cell))].boundary_posted;
+  EFD_COUNTER_INC("sim.shard.boundary_posted");
+}
+
+std::int64_t ShardedSimulator::safe_target(const Shard& s,
+                                           std::int64_t end_exclusive_ns) const {
+  std::int64_t target = end_exclusive_ns;
+  for (const auto& [src_shard, la] : s.horizon_terms) {
+    const std::int64_t h = shards_[static_cast<std::size_t>(src_shard)]
+                               ->horizon.load(std::memory_order_acquire);
+    if (h == kForever) continue;  // aborting shard: stop holding us back
+    target = std::min(target, h + la);
+  }
+  return target;
+}
+
+void ShardedSimulator::run_window(int shard, Shard& s, std::int64_t target_ns) {
+  Simulator& sim = s.sim;
+  ShardStats& st = stats_[static_cast<std::size_t>(shard)];
+  for (;;) {
+    // Earliest visible arrival strictly below the window bound.
+    std::int64_t arrival = kForever;
+    for (const Inbound& in : s.inbound) {
+      const BoundaryEvent* e = mail_[static_cast<std::size_t>(in.link)]->peek();
+      if (e != nullptr && e->t_ns < target_ns && e->t_ns < arrival) {
+        arrival = e->t_ns;
+      }
+    }
+    // Local events may post intra-shard boundary events; lookahead bounds
+    // how soon those can land, so advance in chunks of the intra lookahead
+    // and rescan. Without intra links the chunk spans the whole window.
+    const std::int64_t clock = sim.now().ns();
+    const std::int64_t intra_bound =
+        s.lookahead_intra_ns > 0 ? clock + s.lookahead_intra_ns : kForever;
+    const std::int64_t bound = std::min({arrival, target_ns, intra_bound});
+    sim.run_until(Time{bound - 1});
+    if (arrival == bound && arrival < target_ns) {
+      // Boundary arrivals fire BEFORE local events at the same instant, in
+      // inbound (src_cell, dst_cell) order, FIFO within a mailbox.
+      sim.advance_to(Time{arrival});
+      for (const Inbound& in : s.inbound) {
+        SpscMailbox& m = *mail_[static_cast<std::size_t>(in.link)];
+        while (const BoundaryEvent* e = m.peek()) {
+          if (e->t_ns != arrival) break;
+          handlers_[static_cast<std::size_t>(e->dst_cell)](*e, sim);
+          ++st.boundary_delivered;
+          EFD_COUNTER_INC("sim.shard.boundary_delivered");
+          m.pop();
+        }
+      }
+      continue;
+    }
+    if (bound >= target_ns) break;
+  }
+}
+
+void ShardedSimulator::run_shard(int shard, std::int64_t end_exclusive_ns) {
+  EFD_PROF_SCOPE("shard.run");
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  ShardStats& st = stats_[static_cast<std::size_t>(shard)];
+  std::int64_t horizon = s.horizon.load(std::memory_order_relaxed);
+  while (horizon < end_exclusive_ns) {
+    const std::int64_t target = safe_target(s, end_exclusive_ns);
+    if (target <= horizon) {
+      const std::int64_t t0 = wall_ns();
+      std::this_thread::yield();
+      st.wait_ns += wall_ns() - t0;
+      continue;
+    }
+    const std::int64_t t0 = wall_ns();
+    run_window(shard, s, target);
+    st.busy_ns += wall_ns() - t0;
+    ++st.windows;
+    horizon = target;
+    s.horizon.store(target, std::memory_order_release);
+  }
+  st.events_dispatched = s.sim.events_dispatched();
+}
+
+void ShardedSimulator::run_until(Time end) {
+  const std::int64_t endx = end.ns() + 1;
+  EFD_GAUGE_SET("sim.shard.count", n_shards_);
+  if (n_shards_ == 1) {
+    run_shard(0, endx);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(n_shards_));
+    for (int i = 0; i < n_shards_; ++i) {
+      pool.emplace_back([&, i] {
+        try {
+          run_shard(i, endx);
+        } catch (...) {
+          {
+            const std::scoped_lock lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          // Release neighbors waiting on this shard's horizon so the run
+          // drains instead of deadlocking; the error is rethrown below.
+          shards_[static_cast<std::size_t>(i)]->horizon.store(
+              kForever, std::memory_order_release);
+        }
+      });
+    }
+  }  // jthreads join here
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::uint64_t ShardedSimulator::events_dispatched() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sim.events_dispatched();
+  return total;
+}
+
+void ShardedSimulator::reset() {
+  for (auto& shard : shards_) {
+    shard->sim.reset();
+    shard->horizon.store(0, std::memory_order_relaxed);
+  }
+  for (auto& m : mail_) {
+    while (m->peek() != nullptr) m->pop();
+  }
+  std::fill(stats_.begin(), stats_.end(), ShardStats{});
+  std::fill(handlers_.begin(), handlers_.end(), CellHandler{});
+}
+
+int ShardedSimulator::env_shards(int fallback) {
+  return core::env_count("EFD_SHARDS", fallback, 1024);
+}
+
+}  // namespace efd::sim

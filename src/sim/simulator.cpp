@@ -112,6 +112,20 @@ void Simulator::run_until(Time end) {
   if (now_ < end) now_ = end;
 }
 
+void Simulator::advance_to(Time t) {
+  assert(t >= now_ && "cannot advance the clock backwards");
+  while (!heap_.empty() && heap_[0].t_ns < t.ns() &&
+         slots_[heap_[0].slot].cancelled) {
+    const HeapNode top = heap_[0];
+    EFD_COUNTER_INC("sim.events_cancelled");
+    pop_top();
+    release_slot(top.slot);
+  }
+  assert((heap_.empty() || heap_[0].t_ns >= t.ns()) &&
+         "advance_to would skip a live event");
+  now_ = t;
+}
+
 void Simulator::run() {
   EFD_PROF_SCOPE("sim.run");
   EFD_GAUGE_SET("sim.queue_depth", heap_.size());

@@ -93,6 +93,14 @@ class Simulator {
   /// The clock is left at `end` (or at the last event if the queue drained).
   void run_until(Time end);
 
+  /// Move the clock forward to `t` without dispatching anything. Every
+  /// pending event must lie at or after `t` (asserted): the sharded engine
+  /// uses this to place the clock exactly on a boundary-event timestamp
+  /// after run_until(t - 1ns), so arrival handlers observe now() == t and
+  /// schedule follow-ups normally. Tombstoned events earlier than `t` are
+  /// reaped here, like the dispatch loop would.
+  void advance_to(Time t);
+
   /// Run until the event queue is empty.
   void run();
 

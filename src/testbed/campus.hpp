@@ -1,0 +1,93 @@
+#pragma once
+
+// CampusWorld — a multi-board campus built onto the sharded event engine
+// (DESIGN.md §14). One distribution board = one engine cell: the board's
+// PowerGrid, PlcChannel and PlcNetwork (plus, at WiFi-bridge endpoints, a
+// small WifiNetwork) live entirely inside the cell, touched only by the
+// shard thread that owns it. The ONLY cross-board interaction is a
+// BoundaryEvent through a gateway station, so the campus digest is
+// byte-identical for every EFD_SHARDS value — the property the scale bench
+// and the sharded tier-1 tests pin.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/grid/campus.hpp"
+#include "src/net/packet.hpp"
+#include "src/sim/sharded.hpp"
+#include "src/sim/time.hpp"
+
+namespace efd::testbed {
+
+struct CampusRunConfig {
+  grid::CampusConfig campus;
+  int n_shards = 1;
+  sim::Time duration = sim::milliseconds(200);
+  /// Mean spacing of per-board traffic ticks (each offers one packet).
+  sim::Time traffic_interval = sim::milliseconds(4);
+  /// Probability a generated packet targets a neighboring board (one
+  /// boundary crossing; the campus does not route multi-hop).
+  double p_remote = 0.3;
+  /// Model WiFi-bridge crossings as a real local WiFi hop (AP -> roof
+  /// radio) before the boundary event; false posts straight from the PLC
+  /// gateway.
+  bool with_wifi = true;
+};
+
+struct CampusResult {
+  /// Order-exact fold of every board's delivery and boundary streams,
+  /// combined in board order. Invariant across shard counts and across
+  /// reset-and-rebuild replays.
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;            ///< engine events across all shards
+  std::uint64_t packets_local = 0;     ///< offered, intra-board
+  std::uint64_t packets_remote = 0;    ///< offered, cross-board
+  std::uint64_t delivered = 0;         ///< handed to a destination station
+  std::uint64_t boundary_posted = 0;
+  std::uint64_t boundary_delivered = 0;
+  int n_boards = 0;
+  int n_shards = 0;
+  std::vector<sim::ShardedSimulator::ShardStats> shards;
+  /// max/mean of per-shard busy wall time; 1.0 = perfectly balanced.
+  double load_balance = 1.0;
+};
+
+class CampusWorld {
+ public:
+  explicit CampusWorld(const CampusRunConfig& cfg);
+  ~CampusWorld();
+
+  /// Advance the whole campus through cfg.duration.
+  void run();
+
+  [[nodiscard]] CampusResult result() const;
+
+  /// Reset the engine and rebuild every board world from scratch; a
+  /// subsequent run() replays the identical campus (same digest).
+  void reset_and_rebuild();
+
+  [[nodiscard]] sim::ShardedSimulator& engine() { return *engine_; }
+  [[nodiscard]] const grid::CampusTopology& topology() const { return topo_; }
+
+ private:
+  struct BoardWorld;
+
+  void build();
+  void tick(BoardWorld& bw);
+  void schedule_tick(BoardWorld& bw);
+  /// Egress half of a crossing: forward `p` (flow marks the final station)
+  /// out of `bw`, over the WiFi hop when the crossing is a bridge.
+  void egress(BoardWorld& bw, const net::Packet& p);
+  void post_crossing(BoardWorld& bw, const net::Packet& p, int dst_board);
+
+  CampusRunConfig cfg_;
+  grid::CampusTopology topo_;
+  std::unique_ptr<sim::ShardedSimulator> engine_;
+  std::vector<std::unique_ptr<BoardWorld>> boards_;
+};
+
+/// Build, run and summarize one campus in a single call.
+[[nodiscard]] CampusResult run_campus(const CampusRunConfig& cfg);
+
+}  // namespace efd::testbed

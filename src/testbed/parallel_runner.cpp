@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/core/env.hpp"
 #include "src/obs/obs.hpp"
 
 namespace efd::testbed {
@@ -122,10 +123,10 @@ void ParallelRunner::run_with_sim(
 }
 
 int ParallelRunner::env_threads() {
-  const char* env = std::getenv("EFD_BENCH_THREADS");
-  if (env == nullptr) return 0;
-  const int n = std::atoi(env);
-  return n > 0 ? n : 0;
+  // 0 = "unset" (sequential legacy sweep); anything unparsable, empty,
+  // zero or negative degrades to the same. Absurd values clamp: a worker
+  // pool past 4096 threads is a typo, not a request.
+  return core::env_count("EFD_BENCH_THREADS", 0, 4096);
 }
 
 }  // namespace efd::testbed

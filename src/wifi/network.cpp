@@ -34,4 +34,10 @@ double WifiNetwork::mcs_capacity_mbps(net::StationId a, net::StationId b,
   return mcs < 0 ? 0.0 : Mcs::rate_mbps(mcs);
 }
 
+bool WifiNetwork::inject_boundary(const net::Packet& p) {
+  assert(gateway_ >= 0 && "inject_boundary before set_boundary_gateway");
+  ++boundary_ingress_;
+  return station(gateway_).enqueue(p);
+}
+
 }  // namespace efd::wifi

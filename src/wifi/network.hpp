@@ -35,6 +35,20 @@ class WifiNetwork {
   [[nodiscard]] double mcs_capacity_mbps(net::StationId a, net::StationId b,
                                          sim::Time t) const;
 
+  /// Boundary gateway: the station bridging this contention domain to
+  /// another board (the building-to-building bridge of the campus layer).
+  /// The channel stays cell-local; this is the one explicit crossing.
+  void set_boundary_gateway(net::StationId id) { gateway_ = id; }
+  [[nodiscard]] net::StationId boundary_gateway() const { return gateway_; }
+
+  /// Ingress half of a crossing: enqueue at the gateway MAC, which then
+  /// contends for this cell's medium normally.
+  bool inject_boundary(const net::Packet& p);
+
+  void record_boundary_egress() { ++boundary_egress_; }
+  [[nodiscard]] std::uint64_t boundary_ingress() const { return boundary_ingress_; }
+  [[nodiscard]] std::uint64_t boundary_egress() const { return boundary_egress_; }
+
  private:
   sim::Simulator& sim_;
   sim::Rng rng_;
@@ -42,6 +56,9 @@ class WifiNetwork {
   WifiChannel channel_;
   WifiMedium medium_;
   std::map<net::StationId, std::unique_ptr<WifiMac>> stations_;
+  net::StationId gateway_ = -1;
+  std::uint64_t boundary_ingress_ = 0;
+  std::uint64_t boundary_egress_ = 0;
   std::uint64_t rng_streams_ = 0;
 };
 

@@ -10,6 +10,9 @@
 //   efd sniff <src> <dst> <seconds>   SoF capture under saturation, CSV
 //   efd route <src> <dst>             min-ETT hybrid route
 //   efd guidelines                    the paper's Table 3
+//   efd topology [--outlets N] [--shards K] [--seed S]
+//                                     campus grid as JSON (boards, shards,
+//                                     boundary links), DESIGN.md §14
 //   efd --proptest <seed> <n>         property-based scenario sweep
 //
 // A leading --metrics flag dumps the efd::obs metrics snapshot (counters,
@@ -30,7 +33,9 @@
 #include "src/core/sampler.hpp"
 #include "src/core/sof_capture.hpp"
 #include "src/core/trace_io.hpp"
+#include "src/grid/campus.hpp"
 #include "src/hybrid/routing.hpp"
+#include "src/sim/sharded.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/testbed/experiment.hpp"
 #include "src/testkit/proptest.hpp"
@@ -43,6 +48,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: efd [--metrics] <survey [--night] | rate S D | stat S D | "
                "trace S D SECS | sniff S D SECS | route S D | guidelines>\n"
+               "       efd topology [--outlets N] [--shards K] [--seed S]   "
+               "campus grid as JSON\n"
                "       efd --proptest <seed> <n>   randomized scenario sweep "
                "(invariants + diff + determinism)\n"
                "stations: 0-18 (0-11 on network B1, 12-18 on B2)\n"
@@ -215,6 +222,27 @@ int dispatch(int argc, char** argv) {
     return cmd_survey(night);
   }
   if (cmd == "guidelines") return cmd_guidelines();
+  if (cmd == "topology") {
+    grid::CampusConfig cfg;
+    int shards = sim::ShardedSimulator::env_shards(1);
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--outlets") == 0 && i + 1 < argc) {
+        cfg.n_outlets = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+        shards = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else {
+        return usage();
+      }
+    }
+    if (cfg.n_outlets < 1 || cfg.n_outlets > 1'000'000 || shards < 1) {
+      return usage();
+    }
+    const grid::CampusTopology topo = grid::CampusTopology::generate(cfg);
+    std::fputs(topo.to_json(shards).c_str(), stdout);
+    return 0;
+  }
   if (!station_args(2)) return usage();
   const int a = std::atoi(argv[2]);
   const int b = std::atoi(argv[3]);

@@ -140,6 +140,39 @@ class BenchCompareTest(CompareTestBase):
                              self.write("base.json", base))
         self.assertEqual(r.returncode, 0, r.stderr)
 
+    def test_shard_count_mismatch_is_not_shape_drift(self):
+        # n_shards records how the campus bench was launched; an
+        # EFD_SHARDS=1 run must compare clean against a 4-shard baseline —
+        # the digest metrics are the actual gate.
+        base = doc([metric("digest6_1000", 696197), metric("n_shards", 4)])
+        cur = doc([metric("digest6_1000", 696197), metric("n_shards", 1)])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_load_balance_drift_warns_but_passes(self):
+        base = doc([metric("digest6_1000", 696197),
+                    metric("shard_load_balance", 1.1)])
+        cur = doc([metric("digest6_1000", 696197),
+                   metric("shard_load_balance", 3.7)])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("warn", r.stdout)
+        self.assertIn("shard_load_balance", r.stdout)
+
+    def test_campus_digest_drift_still_fails(self):
+        # The warn-only carve-out must not leak: the digest metrics of the
+        # campus bench stay hard shape gates.
+        base = doc([metric("digest6_1000", 696197),
+                    metric("shard_load_balance", 1.1)])
+        cur = doc([metric("digest6_1000", 123456),
+                   metric("shard_load_balance", 1.1)])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("digest6_1000", r.stderr)
+
     def test_unreadable_file_is_usage_error(self):
         base = self.write("base.json", doc([]))
         r = self.run_compare(os.path.join(self.tmp.name, "absent.json"), base)
