@@ -76,6 +76,17 @@ class JsonReporter {
     // but the comparator surfaces the mismatch instead of hiding it.
     metrics_.push_back({"carrier_math_impl", "index",
                         static_cast<double>(grid::simd::active_impl_index())});
+    // Fault/backpressure machine metrics (DESIGN.md §15), present in every
+    // BENCH_*.json so the comparator can surface chaos-profile drift
+    // (warn-only: both depend on the bench's fault plan and scheduling).
+    const auto fault_events =
+        static_cast<double>(snap.counter("fault.injector.applied") +
+                            snap.counter("fault.injector.cleared") +
+                            snap.counter("fault.injector.recovery_events"));
+    metrics_.push_back({"fault_events", "events", fault_events});
+    metrics_.push_back(
+        {"mailbox_peak_occupancy", "events",
+         static_cast<double>(snap.gauge("sim.shard.mailbox_peak"))});
     const std::string path = "BENCH_" + figure_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;

@@ -7,20 +7,96 @@
 // survivor's capacity instead of collapsing, and the fault/recovery event
 // trace is byte-identical for a given seed (try running it twice).
 //
-// Build & run:  ./build/examples/chaos_storm
+// With --campus the storm instead hits the sharded campus (DESIGN.md §15):
+// a distribution board blacks out, a WiFi bridge between buildings is
+// partitioned (its traffic failing over to the powerline backbone), and a
+// backbone crossing is severed outright. The run prints the fault trace,
+// failover accounting, and the digest — identical for any EFD_SHARDS.
+//
+// Build & run:  ./build/examples/chaos_storm [--campus]
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "src/fault/fault.hpp"
 #include "src/fault/injector.hpp"
+#include "src/grid/campus.hpp"
 #include "src/hybrid/device.hpp"
 #include "src/net/meters.hpp"
 #include "src/net/sources.hpp"
+#include "src/sim/sharded.hpp"
+#include "src/testbed/campus.hpp"
 #include "src/testbed/experiment.hpp"
 
 using namespace efd;
 
-int main() {
+/// --campus: board blackout + bridge/backbone partitions on a 10-board
+/// campus, end to end through the sharded engine and gateway failover.
+static int run_campus_storm() {
+  testbed::CampusRunConfig cfg;
+  cfg.campus.n_outlets = 200;
+  cfg.campus.outlets_per_board = 20;  // 10 boards
+  cfg.campus.stations_per_board = 4;
+  cfg.campus.boards_per_building = 4;
+  cfg.campus.seed = 7;
+  cfg.n_shards = sim::ShardedSimulator::env_shards(4);
+  cfg.duration = sim::milliseconds(200);
+  cfg.p_remote = 0.4;
+
+  // Pick one crossing of each kind so the partition demo shows both a
+  // failover (bridge -> backbone) and a deterministic drop (backbone cut).
+  const grid::CampusTopology topo = grid::CampusTopology::generate(cfg.campus);
+  int bridge = -1, backbone = -1;
+  for (std::size_t i = 0; i < topo.links().size(); ++i) {
+    if (topo.links()[i].kind == grid::BoundaryKind::kWifiBridge && bridge < 0)
+      bridge = static_cast<int>(i);
+    if (topo.links()[i].kind == grid::BoundaryKind::kPlcBackbone && backbone < 0)
+      backbone = static_cast<int>(i);
+  }
+
+  cfg.faults.board_blackout(sim::milliseconds(40), sim::milliseconds(60), 2)
+      .board_brownout(sim::milliseconds(60), sim::milliseconds(80), 7, 0.6);
+  if (bridge >= 0)
+    cfg.faults.link_partition(sim::milliseconds(50), sim::milliseconds(80), bridge);
+  if (backbone >= 0)
+    cfg.faults.link_partition(sim::milliseconds(80), sim::milliseconds(60), backbone);
+
+  std::printf("Campus chaos storm: %d boards, %d crossings, %d shard(s)\n",
+              topo.n_boards(), static_cast<int>(topo.links().size()),
+              cfg.n_shards);
+  std::printf("  blackout board 2 @40-100ms, brownout board 7 @60-140ms\n");
+  if (bridge >= 0)
+    std::printf("  partition bridge link %d @50-130ms (fails over to backbone)\n",
+                bridge);
+  if (backbone >= 0)
+    std::printf("  partition backbone link %d @80-140ms (drops deterministically)\n",
+                backbone);
+
+  const testbed::CampusResult r = testbed::run_campus(cfg);
+
+  std::printf("\nFault/recovery trace (byte-identical for any EFD_SHARDS):\n%s",
+              r.fault_trace.c_str());
+  std::printf("\nevents=%llu delivered=%llu boundary=%llu/%llu\n",
+              static_cast<unsigned long long>(r.events),
+              static_cast<unsigned long long>(r.delivered),
+              static_cast<unsigned long long>(r.boundary_delivered),
+              static_cast<unsigned long long>(r.boundary_posted));
+  std::printf("fault_events=%llu dead_drops=%llu partition_drops=%llu\n",
+              static_cast<unsigned long long>(r.fault_events),
+              static_cast<unsigned long long>(r.dead_drops),
+              static_cast<unsigned long long>(r.partition_drops));
+  std::printf("failovers=%llu failbacks=%llu mailbox_peak=%llu\n",
+              static_cast<unsigned long long>(r.failovers),
+              static_cast<unsigned long long>(r.failbacks),
+              static_cast<unsigned long long>(r.mailbox_peak));
+  std::printf("digest=%016llx\n", static_cast<unsigned long long>(r.digest));
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--campus") == 0) {
+    return run_campus_storm();
+  }
   sim::Simulator sim;
   testbed::Testbed::Config cfg;
   cfg.with_hpav500 = false;

@@ -13,6 +13,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kModemReset: return "modem_reset";
     case FaultKind::kPacketCorruption: return "corruption";
     case FaultKind::kQueueStall: return "queue_stall";
+    case FaultKind::kBoardBlackout: return "board_blackout";
+    case FaultKind::kBoardBrownout: return "board_brownout";
+    case FaultKind::kLinkPartition: return "link_partition";
   }
   return "?";
 }
@@ -75,6 +78,31 @@ FaultPlan FaultPlan::random_storm(sim::Rng rng, const StormConfig& cfg) {
     if (s.kind == FaultKind::kModemReset) s.duration = sim::Time{};
     plan.add(s);
   }
+  return plan;
+}
+
+FaultPlan FaultPlan::random_campus_storm(sim::Rng rng,
+                                         const CampusStormConfig& cfg) {
+  FaultPlan plan;
+  const auto draw = [&](FaultKind kind, int n, int n_targets) {
+    for (int i = 0; i < n && n_targets > 0; ++i) {
+      FaultSpec s;
+      s.onset = sim::Time{rng.uniform_int(cfg.start.ns(), cfg.horizon.ns() - 1)};
+      s.duration = sim::Time{
+          rng.uniform_int(cfg.min_duration.ns(), cfg.max_duration.ns())};
+      s.kind = kind;
+      s.target = static_cast<int>(rng.uniform_int(0, n_targets - 1));
+      s.severity = kind == FaultKind::kBoardBrownout
+                       ? rng.uniform(cfg.min_severity, cfg.max_severity)
+                       : (kind == FaultKind::kBoardBlackout ? 1.0 : 0.0);
+      plan.add(s);
+    }
+  };
+  // Fixed draw order (blackouts, brownouts, partitions) keeps the plan a
+  // pure function of (rng seed, config).
+  draw(FaultKind::kBoardBlackout, cfg.n_blackouts, cfg.n_boards);
+  draw(FaultKind::kBoardBrownout, cfg.n_brownouts, cfg.n_boards);
+  draw(FaultKind::kLinkPartition, cfg.n_partitions, cfg.n_links);
   return plan;
 }
 

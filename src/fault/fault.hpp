@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -31,7 +32,24 @@ enum class FaultKind : std::uint8_t {
   /// The interface's transmit path wedges: the queue accepts packets but
   /// stops draining until the fault clears. `severity` is unused.
   kQueueStall,
+  /// Campus fault domain (DESIGN.md §15): a whole distribution board loses
+  /// power — every station on it goes dark, its media stop decoding and
+  /// boundary ingress is dropped until the fault clears. `target` is the
+  /// board index; `severity` is unused (a blackout is total).
+  kBoardBlackout,
+  /// Campus fault domain: a board browns out — its mains keep (barely)
+  /// working while PB decodes additionally fail with probability
+  /// `severity`. `target` is the board index.
+  kBoardBrownout,
+  /// Campus fault domain: a boundary link between two boards is severed
+  /// (backhoe through the backbone, bridge radio knocked out). `target` is
+  /// the campus topology's link index; both endpoint boards observe the
+  /// same apply/clear instants. `severity` is unused.
+  kLinkPartition,
 };
+
+/// Number of FaultKind values; sizes the injector's per-kind hook table.
+inline constexpr std::size_t kFaultKindCount = 8;
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -105,6 +123,16 @@ class FaultPlan {
   FaultPlan& queue_stall(sim::Time onset, sim::Time duration, int target = 0) {
     return add({onset, duration, FaultKind::kQueueStall, target, 0.0});
   }
+  FaultPlan& board_blackout(sim::Time onset, sim::Time duration, int board) {
+    return add({onset, duration, FaultKind::kBoardBlackout, board, 1.0});
+  }
+  FaultPlan& board_brownout(sim::Time onset, sim::Time duration, int board,
+                            double severity = 0.5) {
+    return add({onset, duration, FaultKind::kBoardBrownout, board, severity});
+  }
+  FaultPlan& link_partition(sim::Time onset, sim::Time duration, int link) {
+    return add({onset, duration, FaultKind::kLinkPartition, link, 0.0});
+  }
 
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
   [[nodiscard]] bool empty() const { return specs_.empty(); }
@@ -130,6 +158,28 @@ class FaultPlan {
   /// Draw a storm from a seeded Rng: the same seed + config always yields
   /// the same plan (and therefore the same injector trace).
   [[nodiscard]] static FaultPlan random_storm(sim::Rng rng, const StormConfig& cfg);
+
+  /// Parameters for a seeded campus-scale storm over the fault-domain
+  /// kinds (DESIGN.md §15): board blackouts/brownouts draw targets in
+  /// [0, n_boards), link partitions in [0, n_links).
+  struct CampusStormConfig {
+    sim::Time start = sim::milliseconds(20);
+    sim::Time horizon = sim::milliseconds(150);  ///< onsets in [start, horizon)
+    sim::Time min_duration = sim::milliseconds(10);
+    sim::Time max_duration = sim::milliseconds(60);
+    int n_blackouts = 2;
+    int n_brownouts = 2;
+    int n_partitions = 2;
+    int n_boards = 1;
+    int n_links = 0;   ///< 0 draws no partitions regardless of n_partitions
+    double min_severity = 0.3;  ///< brownout PB-error floor
+    double max_severity = 0.8;
+  };
+
+  /// Draw a campus fault-domain storm; same determinism contract as
+  /// random_storm.
+  [[nodiscard]] static FaultPlan random_campus_storm(sim::Rng rng,
+                                                     const CampusStormConfig& cfg);
 
  private:
   std::vector<FaultSpec> specs_;

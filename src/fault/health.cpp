@@ -18,7 +18,18 @@ const char* to_string(HealthMonitor::State state) {
 
 HealthMonitor::HealthMonitor(sim::Simulator& simulator, sim::Rng rng, Config config,
                              ProbeFn probe)
-    : sim_(simulator), rng_(rng), cfg_(config), probe_(std::move(probe)) {}
+    : sim_(simulator), rng_(rng), cfg_(config), probe_(std::move(probe)) {
+  // First stage whose delay saturates at backoff_max; deepen_backoff()
+  // clamps here so an open breaker's repeated probe timeouts cannot grow
+  // the stage (and pow()'s argument) without bound.
+  double delay_ns = static_cast<double>(cfg_.backoff_initial.ns());
+  const double max_ns = static_cast<double>(cfg_.backoff_max.ns());
+  while (delay_ns < max_ns && cfg_.backoff_factor > 1.0 &&
+         max_backoff_stage_ < 64) {
+    delay_ns *= cfg_.backoff_factor;
+    ++max_backoff_stage_;
+  }
+}
 
 void HealthMonitor::start() {
   if (running_) return;
@@ -76,6 +87,10 @@ void HealthMonitor::on_probe_result(std::uint64_t nonce, bool ok) {
 void HealthMonitor::report_failure() { on_failure(); }
 void HealthMonitor::report_success() { on_success(); }
 
+void HealthMonitor::deepen_backoff() {
+  backoff_stage_ = std::min(backoff_stage_ + 1, max_backoff_stage_);
+}
+
 sim::Time HealthMonitor::reprobe_backoff() {
   double base_ns = static_cast<double>(cfg_.backoff_initial.ns()) *
                    std::pow(cfg_.backoff_factor, backoff_stage_);
@@ -108,13 +123,13 @@ void HealthMonitor::on_failure() {
       break;
     case State::kHalfOpen:
       // A trial failure re-opens the breaker with a deeper backoff.
-      ++backoff_stage_;
+      deepen_backoff();
       EFD_COUNTER_INC("fault.health.reopen");
       transition(State::kOpen);
       arm_next(reprobe_backoff());
       break;
     case State::kOpen:
-      ++backoff_stage_;
+      deepen_backoff();
       arm_next(reprobe_backoff());
       break;
   }

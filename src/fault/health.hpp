@@ -86,6 +86,10 @@ class HealthMonitor {
   [[nodiscard]] std::uint64_t trips() const { return trips_; }
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
   [[nodiscard]] int consecutive_failures() const { return consecutive_failures_; }
+  /// Current reprobe-backoff stage; clamped to the stage whose delay first
+  /// reaches backoff_max, so repeated probe timeouts while the breaker is
+  /// already open cannot deepen it unboundedly.
+  [[nodiscard]] int backoff_stage() const { return backoff_stage_; }
 
  private:
   void send_probe();
@@ -96,6 +100,8 @@ class HealthMonitor {
   /// (Re)arm the next probe after `delay`, replacing any pending one.
   void arm_next(sim::Time delay);
   [[nodiscard]] sim::Time reprobe_backoff();
+  /// Deepen the reprobe backoff one stage, saturating at max_backoff_stage_.
+  void deepen_backoff();
 
   sim::Simulator& sim_;
   mutable sim::Rng rng_;
@@ -110,6 +116,7 @@ class HealthMonitor {
   int consecutive_failures_ = 0;
   int recovery_streak_ = 0;
   int backoff_stage_ = 0;
+  int max_backoff_stage_ = 0;  ///< first stage whose delay hits backoff_max
 
   sim::EventHandle next_;      ///< next scheduled probe
   sim::EventHandle timeout_;   ///< in-flight probe's deadline

@@ -69,7 +69,7 @@ class FaultInjector {
   }
 
   sim::Simulator& sim_;
-  std::array<Hooks, 5> hooks_;
+  std::array<Hooks, kFaultKindCount> hooks_;
   std::vector<sim::EventHandle> pending_;
   std::vector<FaultEvent> trace_;
   int active_ = 0;

@@ -1,0 +1,14 @@
+#include "src/hybrid/gateway.hpp"
+
+namespace efd::hybrid {
+
+const char* to_string(GatewayFailover::Path path) {
+  switch (path) {
+    case GatewayFailover::Path::kPrimary: return "primary";
+    case GatewayFailover::Path::kFallback: return "fallback";
+    case GatewayFailover::Path::kDown: return "down";
+  }
+  return "?";
+}
+
+}  // namespace efd::hybrid

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "src/fault/injector.hpp"
+#include "src/hybrid/gateway.hpp"
 #include "src/obs/obs.hpp"
 #include "src/plc/channel.hpp"
 #include "src/plc/network.hpp"
@@ -58,8 +60,16 @@ struct CampusWorld::BoardWorld {
     int neighbor = 0;
     grid::BoundaryKind kind = grid::BoundaryKind::kPlcBackbone;
     std::int64_t lookahead_ns = 0;
+    int link = -1;  ///< index into topo_.links(); kLinkPartition targets it
   };
   std::vector<Crossing> crossings;
+
+  /// Fault-domain state (null on fault-free runs; the fault-free digest
+  /// and allocation profile are untouched).
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<hybrid::GatewayFailover> failover;
+  bool dead = false;            ///< board blacked out right now
+  std::uint64_t dead_drops = 0; ///< boundary ingress dropped while dead
 
   /// Order-exact stream fold: deliveries, egress posts and boundary
   /// arrivals, mixed the instant they happen (no buffering, so the steady
@@ -85,6 +95,8 @@ CampusWorld::CampusWorld(const CampusRunConfig& cfg)
     ec.links.push_back({l.board_a, l.board_b, l.lookahead});
     ec.links.push_back({l.board_b, l.board_a, l.lookahead});
   }
+  ec.mailbox_capacity = cfg_.mailbox_capacity;
+  ec.watchdog.budget_ns = cfg_.watchdog_budget_ns;
   engine_ = std::make_unique<sim::ShardedSimulator>(std::move(ec));
   build();
 }
@@ -105,11 +117,14 @@ void CampusWorld::build() {
         0x7AFF1C00 + static_cast<std::uint64_t>(b));
     topo_.build_board_grid(b, bw->grid);
 
-    for (const grid::BoundaryLink& l : topo_.links()) {
+    for (std::size_t li = 0; li < topo_.links().size(); ++li) {
+      const grid::BoundaryLink& l = topo_.links()[li];
       if (l.board_a == b) {
-        bw->crossings.push_back({l.board_b, l.kind, l.lookahead.ns()});
+        bw->crossings.push_back(
+            {l.board_b, l.kind, l.lookahead.ns(), static_cast<int>(li)});
       } else if (l.board_b == b) {
-        bw->crossings.push_back({l.board_a, l.kind, l.lookahead.ns()});
+        bw->crossings.push_back(
+            {l.board_a, l.kind, l.lookahead.ns(), static_cast<int>(li)});
       }
     }
 
@@ -184,6 +199,12 @@ void CampusWorld::build() {
       w->digest.mix(e.a);
       w->digest.mix(e.b);
       w->digest.mix(e.c);
+      if (w->dead) {
+        // The arrival is folded (it crossed the boundary either way) but a
+        // blacked-out board has nothing powered to hand it to.
+        ++w->dead_drops;
+        return;
+      }
       net::Packet p;
       p.flow_id = static_cast<int>(e.b >> 32);
       p.seq = static_cast<std::uint32_t>(e.b & 0xffffffffu);
@@ -201,9 +222,99 @@ void CampusWorld::build() {
       }
     });
 
+    if (!cfg_.faults.empty()) wire_faults(*bw);
     schedule_tick(*bw);
     boards_.push_back(std::move(bw));
   }
+}
+
+void CampusWorld::wire_faults(BoardWorld& bw) {
+  // Slice the campus-wide plan into this board's specs: board-targeted
+  // kinds stay on their board; a link partition lands on BOTH endpoint
+  // boards (each schedules the same apply/clear instants on its own cell
+  // clock, so both sides observe the cut simultaneously in sim time).
+  fault::FaultPlan local;
+  for (const fault::FaultSpec& s : cfg_.faults.specs()) {
+    if (s.kind == fault::FaultKind::kLinkPartition) {
+      if (s.target < 0 ||
+          s.target >= static_cast<int>(topo_.links().size())) {
+        continue;
+      }
+      const grid::BoundaryLink& l =
+          topo_.links()[static_cast<std::size_t>(s.target)];
+      if (l.board_a == bw.board || l.board_b == bw.board) local.add(s);
+    } else if (s.target == bw.board) {
+      local.add(s);
+    }
+  }
+
+  std::vector<bool> has_fallback;
+  has_fallback.reserve(bw.crossings.size());
+  for (const auto& c : bw.crossings) {
+    // A severed WiFi bridge falls back to the shared powerline backbone;
+    // a severed backbone crossing has no second medium and goes down.
+    has_fallback.push_back(c.kind == grid::BoundaryKind::kWifiBridge);
+  }
+  bw.failover = std::make_unique<hybrid::GatewayFailover>(std::move(has_fallback));
+
+  if (local.empty()) return;
+
+  BoardWorld* w = &bw;
+  bw.injector =
+      std::make_unique<fault::FaultInjector>(engine_->cell_sim(bw.board));
+  bw.failover->set_listener(
+      [w](int crossing, hybrid::GatewayFailover::Path path, sim::Time) {
+        // Recovery-side trace: reroutes/downs record as trips, primary
+        // restoration as recovery; severity 1 = fallback carried traffic.
+        const auto link = w->crossings[static_cast<std::size_t>(crossing)].link;
+        if (path == hybrid::GatewayFailover::Path::kPrimary) {
+          w->injector->record(fault::FaultPhase::kRecover,
+                              fault::FaultKind::kLinkPartition, link);
+        } else {
+          w->injector->record(
+              fault::FaultPhase::kTrip, fault::FaultKind::kLinkPartition, link,
+              path == hybrid::GatewayFailover::Path::kFallback ? 1.0 : 0.0);
+        }
+      });
+
+  bw.injector->set_hooks(
+      fault::FaultKind::kBoardBlackout,
+      {[w](const fault::FaultSpec&, sim::Time) {
+         w->dead = true;
+         w->plc->medium().set_fault_pb_error(1.0);
+         if (w->wifi) w->wifi->medium().set_jamming_db(200.0);
+       },
+       [w](const fault::FaultSpec&, sim::Time) {
+         w->dead = false;
+         w->plc->medium().set_fault_pb_error(0.0);
+         if (w->wifi) w->wifi->medium().set_jamming_db(0.0);
+       }});
+  bw.injector->set_hooks(
+      fault::FaultKind::kBoardBrownout,
+      {[w](const fault::FaultSpec& s, sim::Time) {
+         w->plc->medium().set_fault_pb_error(s.severity);
+       },
+       [w](const fault::FaultSpec&, sim::Time) {
+         w->plc->medium().set_fault_pb_error(0.0);
+       }});
+  bw.injector->set_hooks(
+      fault::FaultKind::kLinkPartition,
+      {[w](const fault::FaultSpec& s, sim::Time t) {
+         for (std::size_t ci = 0; ci < w->crossings.size(); ++ci) {
+           if (w->crossings[ci].link == s.target) {
+             w->failover->on_partition(static_cast<int>(ci), t);
+           }
+         }
+       },
+       [w](const fault::FaultSpec& s, sim::Time t) {
+         for (std::size_t ci = 0; ci < w->crossings.size(); ++ci) {
+           if (w->crossings[ci].link == s.target) {
+             w->failover->on_restore(static_cast<int>(ci), t);
+           }
+         }
+       }});
+
+  bw.injector->install(local);
 }
 
 void CampusWorld::schedule_tick(BoardWorld& bw) {
@@ -217,6 +328,9 @@ void CampusWorld::schedule_tick(BoardWorld& bw) {
 void CampusWorld::tick(BoardWorld& bw) {
   schedule_tick(bw);
   if (bw.n_stations < 2) return;
+  // A blacked-out board offers nothing: its stations are unpowered. The
+  // tick chain keeps running so traffic resumes the instant power returns.
+  if (bw.dead) return;
 
   const int src_k =
       static_cast<int>(bw.rng.uniform_int(0, bw.n_stations - 1));
@@ -268,8 +382,15 @@ void CampusWorld::egress(BoardWorld& bw, const net::Packet& p) {
       bw.crossings.begin(), bw.crossings.end(),
       [dst_board](const auto& c) { return c.neighbor == dst_board; });
   assert(it != bw.crossings.end() && "remote flow targets a non-neighbor");
+  const int ci = static_cast<int>(it - bw.crossings.begin());
+  if (bw.failover && !bw.failover->usable(ci)) {
+    // Partitioned crossing with no fallback medium: deterministic drop.
+    bw.failover->record_drop();
+    return;
+  }
   bw.plc->record_boundary_egress();
-  if (it->kind == grid::BoundaryKind::kWifiBridge && bw.wifi) {
+  if (it->kind == grid::BoundaryKind::kWifiBridge && bw.wifi &&
+      !(bw.failover && bw.failover->rerouted(ci))) {
     // Local AP -> roof radio hop first; the radio's rx handler posts the
     // crossing when the frame actually clears the WiFi medium.
     net::Packet q = p;
@@ -288,13 +409,17 @@ void CampusWorld::post_crossing(BoardWorld& bw, const net::Packet& p,
       bw.crossings.begin(), bw.crossings.end(),
       [dst_board](const auto& c) { return c.neighbor == dst_board; });
   assert(it != bw.crossings.end());
+  const int ci = static_cast<int>(it - bw.crossings.begin());
+  // A bridge crossing rerouted by a partition travels the backbone: the
+  // destination hands it straight to its mains instead of its AP.
+  const bool bridge = it->kind == grid::BoundaryKind::kWifiBridge &&
+                      !(bw.failover && bw.failover->rerouted(ci));
   const sim::Time now = engine_->cell_sim(bw.board).now();
   sim::BoundaryEvent e;
   e.t_ns = now.ns() + it->lookahead_ns;
   e.src_cell = bw.board;
   e.dst_cell = dst_board;
-  e.kind = it->kind == grid::BoundaryKind::kWifiBridge ? kKindBridge
-                                                       : kKindBackbone;
+  e.kind = bridge ? kKindBridge : kKindBackbone;
   e.bytes = static_cast<std::uint32_t>(p.size_bytes);
   e.a = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.src)) << 32) |
         static_cast<std::uint32_t>(p.dst);
@@ -310,9 +435,26 @@ void CampusWorld::post_crossing(BoardWorld& bw, const net::Packet& p,
   engine_->post(e);
 }
 
-void CampusWorld::run() {
+void CampusWorld::run() { run_until(cfg_.duration); }
+
+void CampusWorld::run_until(sim::Time end) {
   EFD_PROF_SCOPE("campus.run");
-  engine_->run_until(cfg_.duration);
+  engine_->run_until(end);
+}
+
+CampusCheckpoint CampusWorld::checkpoint() const {
+  CampusCheckpoint cp;
+  cp.engine = engine_->checkpoint();
+  cp.t = sim::Time{cp.engine.t_ns - 1};  // engine horizons are exclusive
+  cp.world_digest = result().digest;
+  return cp;
+}
+
+bool CampusWorld::restore(const CampusCheckpoint& cp) {
+  engine_->reset();
+  build();
+  engine_->run_until(cp.t);
+  return engine_->matches(cp.engine) && result().digest == cp.world_digest;
 }
 
 CampusResult CampusWorld::result() const {
@@ -343,11 +485,30 @@ CampusResult CampusWorld::result() const {
   }
   r.digest = f.h;
 
+  // Fault-domain accounting rides outside the digest fold above, so the
+  // fault-free digest is bit-for-bit what it was before fault domains.
+  r.board_digests.reserve(boards_.size());
+  for (const auto& bw : boards_) {
+    r.board_digests.push_back(bw->digest.h);
+    r.dead_drops += bw->dead_drops;
+    if (bw->injector) {
+      r.fault_events += bw->injector->trace().size();
+      r.fault_trace += bw->injector->trace_lines();
+    }
+    if (bw->failover) {
+      r.failovers += bw->failover->failovers();
+      r.failbacks += bw->failover->failbacks();
+      r.partition_drops += bw->failover->drops();
+    }
+  }
+  r.mailbox_peak = engine_->mailbox_peak_occupancy();
+
   std::int64_t busy_max = 0;
   std::int64_t busy_sum = 0;
   for (const auto& s : r.shards) {
     r.boundary_posted += s.boundary_posted;
     r.boundary_delivered += s.boundary_delivered;
+    r.backpressure_waits += s.backpressure_waits;
     busy_max = std::max(busy_max, s.busy_ns);
     busy_sum += s.busy_ns;
   }

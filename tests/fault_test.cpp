@@ -315,6 +315,40 @@ TEST(HealthMonitor, HalfOpenFailureReopensWithDeeperBackoff) {
   EXPECT_EQ(mon.recoveries(), 0u);
 }
 
+TEST(HealthMonitor, OpenStateTimeoutsClampBackoffAtTheCap) {
+  // Regression: the probe-timeout path used to deepen the backoff stage on
+  // every failed reprobe while already open, so a long outage pushed the
+  // exponent (and the next reprobe delay) without bound. The stage must
+  // saturate at the first value whose delay hits backoff_max.
+  sim::Simulator sim;
+  std::vector<sim::Time> probe_times;
+  ProbeScript script;
+  script.swallow = true;
+  HealthMonitor mon(sim, sim::Rng{1}, fast_cfg(), [&](std::uint64_t n) {
+    probe_times.push_back(sim.now());
+    script(n);
+  });
+  script.mon = &mon;
+  mon.start();
+  sim.run_until(sim::seconds(5));
+  ASSERT_EQ(mon.state(), HealthMonitor::State::kOpen);
+  EXPECT_GT(mon.probes_failed(), 20u);
+  // fast_cfg: 20 ms doubling against a 100 ms cap saturates at stage 3
+  // (20 -> 40 -> 80 -> 160 ms, clamped to 100).
+  EXPECT_LE(mon.backoff_stage(), 3);
+  // The observable contract: late reprobe gaps stay bounded by
+  // backoff_max (+ jitter) + probe_timeout instead of growing each trip.
+  const HealthMonitor::Config cfg = fast_cfg();
+  const std::int64_t bound =
+      static_cast<std::int64_t>(static_cast<double>(cfg.backoff_max.ns()) *
+                                (1.0 + cfg.jitter_frac)) +
+      cfg.probe_timeout.ns();
+  ASSERT_GT(probe_times.size(), 12u);
+  for (std::size_t i = probe_times.size() - 8; i < probe_times.size(); ++i) {
+    EXPECT_LE(probe_times[i].ns() - probe_times[i - 1].ns(), bound) << "i=" << i;
+  }
+}
+
 TEST(HealthMonitor, StaleNonceIsIgnored) {
   sim::Simulator sim;
   ProbeScript script;

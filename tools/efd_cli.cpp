@@ -13,6 +13,12 @@
 //   efd topology [--outlets N] [--shards K] [--seed S]
 //                                     campus grid as JSON (boards, shards,
 //                                     boundary links), DESIGN.md §14
+//   efd campus [--outlets N] [--shards K] [--seed S] [--ms D] [--storm SEED]
+//                                     run a sharded campus (optionally under
+//                                     a seeded fault-domain storm) and print
+//                                     the deterministic digest report — the
+//                                     CI chaos leg diffs this output between
+//                                     shard counts, DESIGN.md §15
 //   efd --proptest <seed> <n>         property-based scenario sweep
 //
 // A leading --metrics flag dumps the efd::obs metrics snapshot (counters,
@@ -33,10 +39,12 @@
 #include "src/core/sampler.hpp"
 #include "src/core/sof_capture.hpp"
 #include "src/core/trace_io.hpp"
+#include "src/fault/fault.hpp"
 #include "src/grid/campus.hpp"
 #include "src/hybrid/routing.hpp"
 #include "src/sim/sharded.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/testbed/campus.hpp"
 #include "src/testbed/experiment.hpp"
 #include "src/testkit/proptest.hpp"
 
@@ -50,6 +58,8 @@ int usage() {
                "trace S D SECS | sniff S D SECS | route S D | guidelines>\n"
                "       efd topology [--outlets N] [--shards K] [--seed S]   "
                "campus grid as JSON\n"
+               "       efd campus [--outlets N] [--shards K] [--seed S] [--ms D] "
+               "[--storm SEED]   sharded campus run, deterministic report\n"
                "       efd --proptest <seed> <n>   randomized scenario sweep "
                "(invariants + diff + determinism)\n"
                "stations: 0-18 (0-11 on network B1, 12-18 on B2)\n"
@@ -198,6 +208,86 @@ int cmd_guidelines() {
   return 0;
 }
 
+// efd campus: run a sharded campus, optionally under a seeded fault-domain
+// storm (DESIGN.md §15), and print a report containing ONLY fields that are
+// deterministic for a given config — digest, per-board digests, packet and
+// fault accounting, and the fault/recovery trace. The CI chaos leg runs
+// this twice (EFD_SHARDS=1 vs 4) and diffs the whole output byte-for-byte.
+int cmd_campus(int argc, char** argv) {
+  testbed::CampusRunConfig cfg;
+  cfg.campus.n_outlets = 200;
+  cfg.n_shards = sim::ShardedSimulator::env_shards(1);
+  std::int64_t ms = 200;
+  bool storm = false;
+  std::uint64_t storm_seed = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--outlets") == 0 && i + 1 < argc) {
+      cfg.campus.n_outlets = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      cfg.n_shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      cfg.campus.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
+      ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--storm") == 0 && i + 1 < argc) {
+      storm = true;
+      storm_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      return usage();
+    }
+  }
+  if (cfg.campus.n_outlets < 1 || cfg.campus.n_outlets > 1'000'000 ||
+      cfg.n_shards < 1 || ms < 1 || ms > 600'000) {
+    return usage();
+  }
+  cfg.duration = sim::milliseconds(ms);
+  const grid::CampusTopology topo = grid::CampusTopology::generate(cfg.campus);
+  if (storm) {
+    fault::FaultPlan::CampusStormConfig sc;
+    sc.n_boards = topo.n_boards();
+    sc.n_links = static_cast<int>(topo.links().size());
+    // Scale the storm window to the run so every fault both lands and
+    // clears inside it regardless of --ms.
+    sc.start = sim::Time{cfg.duration.ns() / 10};
+    sc.horizon = sim::Time{(cfg.duration.ns() * 3) / 4};
+    sc.min_duration = sim::Time{cfg.duration.ns() / 20};
+    sc.max_duration = sim::Time{cfg.duration.ns() / 5};
+    cfg.faults = fault::FaultPlan::random_campus_storm(sim::Rng{storm_seed}, sc);
+  }
+  const testbed::CampusResult r = testbed::run_campus(cfg);
+  std::printf("campus outlets=%d boards=%d crossings=%d seed=%llu ms=%lld "
+              "storm=%s\n",
+              cfg.campus.n_outlets, topo.n_boards(),
+              static_cast<int>(topo.links().size()),
+              static_cast<unsigned long long>(cfg.campus.seed),
+              static_cast<long long>(ms),
+              storm ? std::to_string(storm_seed).c_str() : "none");
+  std::printf("events=%llu delivered=%llu local=%llu remote=%llu "
+              "boundary=%llu/%llu\n",
+              static_cast<unsigned long long>(r.events),
+              static_cast<unsigned long long>(r.delivered),
+              static_cast<unsigned long long>(r.packets_local),
+              static_cast<unsigned long long>(r.packets_remote),
+              static_cast<unsigned long long>(r.boundary_delivered),
+              static_cast<unsigned long long>(r.boundary_posted));
+  std::printf("fault_events=%llu dead_drops=%llu partition_drops=%llu "
+              "failovers=%llu failbacks=%llu\n",
+              static_cast<unsigned long long>(r.fault_events),
+              static_cast<unsigned long long>(r.dead_drops),
+              static_cast<unsigned long long>(r.partition_drops),
+              static_cast<unsigned long long>(r.failovers),
+              static_cast<unsigned long long>(r.failbacks));
+  std::printf("digest=%016llx\n", static_cast<unsigned long long>(r.digest));
+  for (std::size_t b = 0; b < r.board_digests.size(); ++b) {
+    std::printf("board %3zu digest=%016llx\n", b,
+                static_cast<unsigned long long>(r.board_digests[b]));
+  }
+  if (!r.fault_trace.empty()) {
+    std::printf("fault trace:\n%s", r.fault_trace.c_str());
+  }
+  return 0;
+}
+
 int cmd_proptest(std::uint64_t seed, int n) {
   const auto report = testkit::run_proptest(seed, n);
   std::printf("%s\n", report.summary().c_str());
@@ -222,6 +312,7 @@ int dispatch(int argc, char** argv) {
     return cmd_survey(night);
   }
   if (cmd == "guidelines") return cmd_guidelines();
+  if (cmd == "campus") return cmd_campus(argc, argv);
   if (cmd == "topology") {
     grid::CampusConfig cfg;
     int shards = sim::ShardedSimulator::env_shards(1);

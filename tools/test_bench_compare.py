@@ -161,6 +161,22 @@ class BenchCompareTest(CompareTestBase):
         self.assertIn("warn", r.stdout)
         self.assertIn("shard_load_balance", r.stdout)
 
+    def test_fault_and_mailbox_metrics_warn_but_pass(self):
+        # Chaos-profile metrics (PR 9): a changed fault plan or a different
+        # shard interleaving shifts these, which warns without failing.
+        base = doc([metric("digest6_1000", 696197),
+                    metric("fault_events", 0),
+                    metric("mailbox_peak_occupancy", 12)])
+        cur = doc([metric("digest6_1000", 696197),
+                   metric("fault_events", 14),
+                   metric("mailbox_peak_occupancy", 57)])
+        r = self.run_compare(self.write("cur.json", cur),
+                             self.write("base.json", base))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("warn", r.stdout)
+        self.assertIn("fault_events", r.stdout)
+        self.assertIn("mailbox_peak_occupancy", r.stdout)
+
     def test_campus_digest_drift_still_fails(self):
         # The warn-only carve-out must not leak: the digest metrics of the
         # campus bench stay hard shape gates.
