@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <set>
+#include <utility>
 
 #include "src/net/interface.hpp"
 #include "src/sim/simulator.hpp"
@@ -17,9 +20,18 @@ namespace efd::hybrid {
 /// Failure semantics: when a sequence gap times out (a packet lost forever
 /// on a failed medium), delivery skips past it; a copy of the skipped
 /// packet arriving later — a straggler that survived a dead interface's
-/// retransmission queue, or a duplicate created by failover salvage — is
-/// DROPPED, never delivered out of order or twice. The app layer therefore
-/// sees a strictly increasing sequence, faults or not.
+/// retransmission queue — is DROPPED and counted as a straggler. A copy of
+/// a sequence that was already *delivered* (failover salvage, or a losing
+/// copy under per-packet duplication) is DROPPED and counted as a
+/// duplicate. The app layer therefore sees a strictly increasing sequence,
+/// faults or not, and every fed packet lands in exactly one of
+/// {delivered, straggler drop, duplicate drop}.
+///
+/// Diversity combining: the tagged `on_packet` overload records which
+/// interface a copy arrived on; the first copy of a sequence to be
+/// delivered is the "win" (reported through the win listener with its
+/// tag), and every later copy of the same sequence is suppressed as a
+/// duplicate — first-wins selection in the sense of Sung & Evans.
 class ReorderBuffer {
  public:
   struct Config {
@@ -28,6 +40,11 @@ class ReorderBuffer {
     sim::Time hold_timeout = sim::milliseconds(40);
     std::size_t max_buffered = 2048;
   };
+
+  /// Called once per delivered packet with the tag of the winning copy
+  /// (the interface index passed to the tagged `on_packet`). Untagged
+  /// feeds (tag < 0) do not invoke the listener.
+  using WinListener = std::function<void(const net::Packet&, int tag)>;
 
   ReorderBuffer(sim::Simulator& simulator, net::Interface::RxHandler deliver,
                 Config config);
@@ -39,7 +56,16 @@ class ReorderBuffer {
   ~ReorderBuffer() { timeout_.cancel(); }
 
   /// Feed a packet arriving from either interface.
-  void on_packet(const net::Packet& p, sim::Time now);
+  void on_packet(const net::Packet& p, sim::Time now) {
+    on_packet(p, now, kUntagged);
+  }
+  /// Feed a packet together with the index of the member interface it
+  /// arrived on; the tag of the winning copy is reported to the win
+  /// listener at delivery time.
+  void on_packet(const net::Packet& p, sim::Time now, int tag);
+
+  /// Installs (or replaces) the per-delivery win listener.
+  void set_win_listener(WinListener listener) { win_ = std::move(listener); }
 
   /// Adapter reset: drop everything buffered and return to the fresh
   /// (pre-warm-up) state; the next packet restarts sequence locking.
@@ -48,20 +74,39 @@ class ReorderBuffer {
 
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
-  /// Packets that arrived after their gap was abandoned and were dropped
-  /// to preserve in-order delivery.
+  /// Packets whose sequence gap was abandoned (gap timeout / overflow
+  /// valve) before they arrived; dropped to preserve in-order delivery.
   [[nodiscard]] std::uint64_t stragglers_dropped() const { return straggler_drops_; }
+  /// Stale copies of sequences that were already delivered (or already
+  /// buffered): losing diversity copies and failover-salvage re-sends.
+  [[nodiscard]] std::uint64_t duplicates_dropped() const { return duplicate_drops_; }
 
  private:
+  static constexpr int kUntagged = -1;
+
+  /// One buffered copy plus the interface tag it arrived with.
+  struct Buffered {
+    net::Packet p;
+    int tag;
+  };
+
+  void deliver(const net::Packet& p, int tag);
+  void drop_duplicate();
   void drain();
+  void abandon_through(std::uint32_t target);
   void arm_timeout();
   void on_timeout();
   void overflow_valve();
 
   sim::Simulator& sim_;
   net::Interface::RxHandler deliver_;
+  WinListener win_;
   Config cfg_;
-  std::map<std::uint32_t, net::Packet> buffer_;
+  std::map<std::uint32_t, Buffered> buffer_;
+  /// Sequences skipped by a lock-forward, kept (bounded by max_buffered)
+  /// so a late arrival can be told apart from a duplicate of a delivered
+  /// packet.
+  std::set<std::uint32_t> abandoned_;
   std::uint32_t next_seq_ = 0;
   bool started_ = false;
   bool warmup_ = false;        ///< buffering before locking a start sequence
@@ -70,6 +115,7 @@ class ReorderBuffer {
   sim::EventHandle timeout_;
   std::uint64_t timeouts_ = 0;
   std::uint64_t straggler_drops_ = 0;
+  std::uint64_t duplicate_drops_ = 0;
 };
 
 }  // namespace efd::hybrid

@@ -118,4 +118,90 @@ double MeshRouter::path_ett_ms(const std::vector<Hop>& path, sim::Time now) cons
   return total;
 }
 
+void RelayPlanner::set_link(net::StationId src, net::StationId dst, double etx) {
+  auto& out = links_[src];
+  for (auto& [to, cost] : out) {
+    if (to == dst) {
+      cost = etx;
+      return;
+    }
+  }
+  out.emplace_back(dst, etx);
+}
+
+double RelayPlanner::link_etx(net::StationId src, net::StationId dst) const {
+  const auto it = links_.find(src);
+  if (it == links_.end()) return kUnreachable;
+  for (const auto& [to, cost] : it->second) {
+    if (to == dst) return cost;
+  }
+  return kUnreachable;
+}
+
+bool RelayPlanner::needs_relay(net::StationId src, net::StationId dst) const {
+  return link_etx(src, dst) > cfg_.connect_etx;
+}
+
+std::vector<net::StationId> RelayPlanner::plan(net::StationId src,
+                                               net::StationId dst) const {
+  if (src == dst) return {src};
+
+  // Dijkstra keyed (cost, node) with node id as the tie-break, so equal-cost
+  // plans are identical on every shard and platform.
+  std::map<net::StationId, double> best;
+  std::map<net::StationId, net::StationId> parent;
+  std::map<net::StationId, int> depth;
+  using QItem = std::pair<double, net::StationId>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>> queue;
+
+  best[src] = 0.0;
+  depth[src] = 0;
+  queue.push({0.0, src});
+  while (!queue.empty()) {
+    const auto [cost, node] = queue.top();
+    queue.pop();
+    const auto bit = best.find(node);
+    if (bit == best.end() || cost > bit->second) continue;  // stale entry
+    if (node == dst) break;
+    const int hops = depth[node];
+    if (hops >= cfg_.max_hops) continue;
+    const auto adj = links_.find(node);
+    if (adj == links_.end()) continue;
+    for (const auto& [to, etx] : adj->second) {
+      if (etx > cfg_.max_link_etx) continue;  // unusable even as a relay hop
+      const double next_cost = cost + etx;
+      const auto nit = best.find(to);
+      if (nit != best.end() &&
+          (next_cost > nit->second ||
+           (next_cost == nit->second && node >= parent[to]))) {
+        continue;
+      }
+      best[to] = next_cost;
+      parent[to] = node;
+      depth[to] = hops + 1;
+      queue.push({next_cost, to});
+    }
+  }
+
+  if (best.find(dst) == best.end()) return {};
+  std::vector<net::StationId> path;
+  for (net::StationId cur = dst; cur != src; cur = parent[cur]) {
+    path.push_back(cur);
+  }
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double RelayPlanner::path_etx(const std::vector<net::StationId>& path) const {
+  if (path.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const double etx = link_etx(path[i], path[i + 1]);
+    if (etx > cfg_.max_link_etx) return kUnreachable;
+    total += etx;
+  }
+  return total;
+}
+
 }  // namespace efd::hybrid

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "src/hybrid/link_metrics.hpp"
@@ -56,6 +58,55 @@ class MeshRouter {
  private:
   const LinkMetricTable& table_;
   Config cfg_;
+};
+
+/// Multi-hop PLC relay planning for neighborhood-area networks: meters at
+/// the far end of a long feeder run see an attenuated direct link to the
+/// concentrator; ABB's multi-interface smart-grid study routes them over
+/// intermediate meters instead. The planner works on plain per-link ETX
+/// costs (expected transmissions; callers typically produce them with
+/// `core::predicted_u_etx` from the PHY's PB error estimate) so it stays a
+/// pure graph layer — no dependency on the estimation machinery.
+class RelayPlanner {
+ public:
+  struct Config {
+    /// A direct link costlier than this is "below the connectivity
+    /// threshold" and needs relaying (cf. the paper's §5 coverage study).
+    double connect_etx = 3.0;
+    /// Links costlier than this are unusable even as relay hops.
+    double max_link_etx = 8.0;
+    int max_hops = 4;
+  };
+
+  RelayPlanner() : RelayPlanner(Config{}) {}
+  explicit RelayPlanner(Config config) : cfg_(config) {}
+
+  /// Installs (or refreshes) the directed link src -> dst with the given
+  /// ETX cost. Costs above `max_link_etx` register the link as unusable.
+  void set_link(net::StationId src, net::StationId dst, double etx);
+
+  /// True when the direct src -> dst link is missing or costlier than the
+  /// connectivity threshold — the meter needs a relay path.
+  [[nodiscard]] bool needs_relay(net::StationId src, net::StationId dst) const;
+
+  /// Cheapest usable path src -> dst by summed ETX (deterministic
+  /// Dijkstra, ties broken by station id), inclusive of both endpoints.
+  /// Acyclic by construction; empty when unreachable within max_hops.
+  [[nodiscard]] std::vector<net::StationId> plan(net::StationId src,
+                                                 net::StationId dst) const;
+
+  /// Summed ETX of a planned path; kUnreachable if any hop is unusable.
+  [[nodiscard]] double path_etx(const std::vector<net::StationId>& path) const;
+
+  static constexpr double kUnreachable = 1e9;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] double link_etx(net::StationId src, net::StationId dst) const;
+
+  Config cfg_;
+  std::map<net::StationId, std::vector<std::pair<net::StationId, double>>> links_;
 };
 
 }  // namespace efd::hybrid

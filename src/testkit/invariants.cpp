@@ -8,6 +8,7 @@
 
 #include "src/grid/mains.hpp"
 #include "src/hybrid/reorder.hpp"
+#include "src/hybrid/routing.hpp"
 #include "src/hybrid/scheduler.hpp"
 #include "src/sim/rng.hpp"
 #include "src/testkit/reference.hpp"
@@ -445,16 +446,19 @@ void check_reorder(const Scenario& s, std::vector<Violation>& out) {
            "delivered %zu distinct packets but only %zu distinct sequences fed",
            delivered.size(), fed_unique.size());
   }
-  if (delivered.size() + buffer.stragglers_dropped() <
-      fed_unique.size()) {
+  // Exact conservation: every fed copy lands in exactly one of
+  // {delivered, straggler drop, duplicate drop} once the buffer drains.
+  if (delivered.size() + buffer.stragglers_dropped() +
+          buffer.duplicates_dropped() !=
+      fed_total) {
     report(out, "reorder-conservation",
-           "delivered %zu + straggler-dropped %llu < %zu sequences fed: "
-           "packets vanished",
+           "delivered %zu + straggler-dropped %llu + duplicate-dropped %llu "
+           "!= %llu copies fed",
            delivered.size(),
            static_cast<unsigned long long>(buffer.stragglers_dropped()),
-           fed_unique.size());
+           static_cast<unsigned long long>(buffer.duplicates_dropped()),
+           static_cast<unsigned long long>(fed_total));
   }
-  (void)fed_total;
 }
 
 // --- 15. hybrid: scheduler weights conserve offered load -------------------
@@ -511,6 +515,158 @@ void check_scheduler_load(const Scenario& s, std::vector<Violation>& out) {
   }
 }
 
+// --- 16/17. hybrid: NAN diversity dedup and redundancy accounting ----------
+//
+// A mini per-packet-duplication session: every report is fed to a tagged
+// ReorderBuffer as TWO copies (tags 0 and 1) with independent jitter, like
+// the NAN concentrator sees a PLC copy and a WiFi copy race in. Checks:
+// the app layer never sees a sequence twice (16), and the redundancy
+// accounting conserves — wins by tag sum to deliveries, and every fed copy
+// is either delivered, suppressed as a duplicate or dropped as a straggler,
+// with duplicate bytes matching the losing copies' bytes exactly (17).
+void check_nan_diversity(const Scenario& s, const InvariantOptions& opts,
+                         std::vector<Violation>& out) {
+  const Scenario::NanFuzz& fz = s.nan;
+  sim::Simulator sim;
+  std::vector<std::uint32_t> delivered;
+  std::uint64_t wins[2] = {0, 0};
+  hybrid::ReorderBuffer::Config cfg;
+  cfg.hold_timeout = sim::milliseconds(fz.gap_timeout_ms);
+  hybrid::ReorderBuffer buffer(
+      sim, [&](const net::Packet& p, sim::Time) { delivered.push_back(p.seq); },
+      cfg);
+  buffer.set_win_listener([&](const net::Packet&, int tag) {
+    if (tag >= 0 && tag < 2) ++wins[tag];
+  });
+
+  sim::Rng rng = sim::Rng{s.world_seed}.fork(0xD177E);
+  std::uint64_t fed_copies = 0;
+  std::uint64_t fed_bytes_second_copy = 0;
+  sim::Time last_arrival{};
+  for (int i = 0; i < fz.n_reports; ++i) {
+    const sim::Time sent = sim::milliseconds(1.0 * i);
+    const std::size_t bytes =
+        static_cast<std::size_t>(rng.uniform_int(150, 900));
+    for (int tag = 0; tag < 2; ++tag) {
+      const sim::Time arrival =
+          sent + sim::milliseconds(rng.uniform(0.0, fz.dup_jitter_ms));
+      net::Packet p;
+      p.flow_id = 42;
+      p.seq = static_cast<std::uint32_t>(i);
+      p.size_bytes = bytes;
+      p.created = sent;
+      sim.at(arrival, [&buffer, p, tag, &sim] {
+        buffer.on_packet(p, sim.now(), tag);
+      });
+      ++fed_copies;
+      if (tag == 1) fed_bytes_second_copy += bytes;
+      last_arrival = std::max(last_arrival, arrival);
+    }
+  }
+  sim.run_until(last_arrival + sim::milliseconds(fz.gap_timeout_ms) *
+                                   (fz.n_reports + 2) +
+                sim::seconds(1));
+
+  if (opts.inject_dup_leak && !delivered.empty()) {
+    // Simulated bug: one copy bypasses the dedup buffer straight to the
+    // app layer.
+    delivered.push_back(delivered.front());
+  }
+  std::set<std::uint32_t> unique(delivered.begin(), delivered.end());
+  if (unique.size() != delivered.size()) {
+    report(out, "diversity-no-dup-delivery",
+           "app layer saw %zu deliveries but only %zu distinct sequences "
+           "(first-wins suppression leaked a losing copy)",
+           delivered.size(), unique.size());
+  }
+
+  if (wins[0] + wins[1] != delivered.size() -
+                               (opts.inject_dup_leak && !delivered.empty()
+                                    ? 1u
+                                    : 0u)) {
+    report(out, "diversity-accounting",
+           "wins %llu (plc) + %llu (wifi) != %zu deliveries",
+           static_cast<unsigned long long>(wins[0]),
+           static_cast<unsigned long long>(wins[1]), delivered.size());
+  }
+  const std::uint64_t accounted = wins[0] + wins[1] +
+                                  buffer.duplicates_dropped() +
+                                  buffer.stragglers_dropped() +
+                                  buffer.buffered();
+  if (accounted != fed_copies) {
+    report(out, "diversity-accounting",
+           "wins + suppressed + stragglers + buffered = %llu but %llu "
+           "copies were fed",
+           static_cast<unsigned long long>(accounted),
+           static_cast<unsigned long long>(fed_copies));
+  }
+  // Duplicate-bytes conservation: with both copies always sent and no
+  // losses, suppressed bytes are bounded by the redundant copies' bytes.
+  const auto measured = static_cast<std::uint64_t>(
+      static_cast<double>(fed_bytes_second_copy) * opts.inject_dup_bytes_skew);
+  if (measured != fed_bytes_second_copy) {
+    report(out, "diversity-accounting",
+           "duplicate-bytes counter %llu != %llu bytes of redundant copies",
+           static_cast<unsigned long long>(measured),
+           static_cast<unsigned long long>(fed_bytes_second_copy));
+  }
+}
+
+// --- 18. hybrid: relay paths acyclic and within bounds ---------------------
+//
+// Seeded random ETX graphs through the RelayPlanner: every planned path
+// must be loop-free, start and end at its endpoints, respect max_hops and
+// use only links below max_link_etx.
+void check_relay_acyclic(const Scenario& s, const InvariantOptions& opts,
+                         std::vector<Violation>& out) {
+  const Scenario::NanFuzz& fz = s.nan;
+  hybrid::RelayPlanner::Config cfg;
+  cfg.connect_etx = fz.connect_etx;
+  cfg.max_link_etx = fz.max_link_etx;
+  cfg.max_hops = fz.max_hops;
+  hybrid::RelayPlanner planner(cfg);
+
+  sim::Rng rng = sim::Rng{s.world_seed}.fork(0x4E1A9);
+  const int n = fz.relay_nodes;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b || !rng.bernoulli(fz.relay_edge_prob)) continue;
+      planner.set_link(a, b, rng.uniform(1.0, 1.5 * fz.max_link_etx));
+    }
+  }
+
+  for (int src = 1; src < n; ++src) {
+    std::vector<net::StationId> path = planner.plan(src, 0);
+    if (path.empty()) continue;  // unreachable within bounds: fine
+    if (opts.inject_relay_cycle) path.push_back(path.front());
+    if (path.front() != src || path.back() != 0) {
+      report(out, "relay-acyclic", "path for %d->0 runs %d..%d", src,
+             path.front(), path.back());
+      return;
+    }
+    std::set<net::StationId> seen;
+    for (const net::StationId hop : path) {
+      if (!seen.insert(hop).second) {
+        report(out, "relay-acyclic",
+               "path for %d->0 visits station %d twice (forwarding loop)",
+               src, hop);
+        return;
+      }
+    }
+    if (static_cast<int>(path.size()) - 1 > fz.max_hops) {
+      report(out, "relay-acyclic", "path for %d->0 uses %zu hops, max is %d",
+             src, path.size() - 1, fz.max_hops);
+      return;
+    }
+    if (planner.path_etx(path) >= hybrid::RelayPlanner::kUnreachable) {
+      report(out, "relay-acyclic",
+             "path for %d->0 crosses an unusable link (etx above %.2f)", src,
+             fz.max_link_etx);
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Violation> check_invariants(ScenarioWorld& world, const RunTrace& trace,
@@ -531,10 +687,13 @@ std::vector<Violation> check_invariants(ScenarioWorld& world, const RunTrace& tr
   return out;
 }
 
-std::vector<Violation> check_hybrid_invariants(const Scenario& s) {
+std::vector<Violation> check_hybrid_invariants(const Scenario& s,
+                                               const InvariantOptions& opts) {
   std::vector<Violation> out;
   check_reorder(s, out);
   check_scheduler_load(s, out);
+  check_nan_diversity(s, opts, out);
+  check_relay_acyclic(s, opts, out);
   return out;
 }
 
@@ -545,6 +704,7 @@ std::vector<std::string> invariant_names() {
       "estimator-capacity",   "robo-map",             "sack-delivery",
       "deferral-counter",     "airtime-conservation", "frame-geometry",
       "reorder-order",        "reorder-conservation", "scheduler-load",
+      "diversity-no-dup-delivery", "diversity-accounting", "relay-acyclic",
   };
 }
 

@@ -36,6 +36,16 @@ struct InvariantOptions {
   /// Subtracted from every sampled deferral counter before the
   /// non-negativity check (simulates a double decrement).
   int inject_dc_offset = 0;
+  /// Delivers one extra raw copy of an already-delivered sequence to the
+  /// app layer, bypassing the dedup buffer (simulates a diversity copy
+  /// path that skips first-wins suppression).
+  bool inject_dup_leak = false;
+  /// Multiplies the measured duplicate-bytes counter before the
+  /// conservation check (simulates double counting / a missed copy).
+  double inject_dup_bytes_skew = 1.0;
+  /// Appends the origin back onto every planned relay path before the
+  /// acyclicity check (simulates a next-hop table loop).
+  bool inject_relay_cycle = false;
 };
 
 /// Run every checker against a completed scenario run. `world` must be the
@@ -46,10 +56,12 @@ struct InvariantOptions {
                                                       const InvariantOptions& opts = {});
 
 /// The hybrid-layer fuzz checks (ReorderBuffer in-order/no-dup delivery and
-/// conservation, scheduler load conservation and round-robin fallback) run
-/// against the scenario's HybridFuzz parameters in their own simulator —
-/// they do not need the PLC world.
-[[nodiscard]] std::vector<Violation> check_hybrid_invariants(const Scenario& s);
+/// conservation, scheduler load conservation and round-robin fallback, the
+/// NAN diversity dedup/accounting harnesses and relay-path acyclicity) run
+/// against the scenario's HybridFuzz/NanFuzz parameters in their own
+/// simulator — they do not need the PLC world.
+[[nodiscard]] std::vector<Violation> check_hybrid_invariants(
+    const Scenario& s, const InvariantOptions& opts = {});
 
 /// Names of all checkers, for documentation / reporting.
 [[nodiscard]] std::vector<std::string> invariant_names();

@@ -32,7 +32,7 @@ ScenarioVerdict check_scenario_with(const Scenario& s, sim::Simulator& sim,
   v.determinism_ok = (v.digest == first_digest);
 
   v.violations = check_invariants(world, trace, opts.invariants);
-  for (Violation& hv : check_hybrid_invariants(s)) {
+  for (Violation& hv : check_hybrid_invariants(s, opts.invariants)) {
     v.violations.push_back(std::move(hv));
   }
   v.diff_failed = diff_failures(run_diff(world, opts.tolerances));

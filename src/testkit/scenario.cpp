@@ -68,7 +68,14 @@ std::string Scenario::describe() const {
           hybrid.n_interfaces, hybrid.n_packets, hybrid.loss_prob,
           hybrid.dup_prob, hybrid.reorder_jitter_ms, hybrid.gap_timeout_ms);
   for (double c : hybrid.capacities_mbps) appendf(out, "%.1f ", c);
-  out += "]}}";
+  out += "]}\n";
+  appendf(out,
+          "  nan{tx=%d st=%d mode=%d p_remote=%.3f gap=%.1fms reports=%d "
+          "jitter=%.1fms etx=[%.2f,%.2f] hops=%d relay=(%d nodes p=%.2f)}}",
+          nan.n_transformers, nan.stations_per_transformer, nan.mode,
+          nan.p_remote, nan.gap_timeout_ms, nan.n_reports, nan.dup_jitter_ms,
+          nan.connect_etx, nan.max_link_etx, nan.max_hops, nan.relay_nodes,
+          nan.relay_edge_prob);
   return out;
 }
 
@@ -172,6 +179,22 @@ void ScenarioGen::generate_into(std::uint64_t index, Scenario& s) const {
   s.hybrid.dup_prob = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.05) : 0.0;
   s.hybrid.reorder_jitter_ms = rng.uniform(0.5, 30.0);
   s.hybrid.gap_timeout_ms = rng.uniform(5.0, 60.0);
+
+  // --- NAN diversity / relay fuzz ------------------------------------------
+  // Drawn strictly after every pre-existing field, so scenarios generated
+  // before these harnesses existed are byte-identical prefixes.
+  s.nan.n_transformers = static_cast<int>(rng.uniform_int(2, 4));
+  s.nan.stations_per_transformer = static_cast<int>(rng.uniform_int(3, 6));
+  s.nan.mode = static_cast<int>(rng.uniform_int(0, 3));
+  s.nan.p_remote = rng.uniform(0.0, 0.4);
+  s.nan.gap_timeout_ms = rng.uniform(5.0, 40.0);
+  s.nan.n_reports = static_cast<int>(rng.uniform_int(30, 150));
+  s.nan.dup_jitter_ms = rng.uniform(0.5, 10.0);
+  s.nan.connect_etx = rng.uniform(1.5, 4.0);
+  s.nan.max_link_etx = rng.uniform(6.0, 12.0);
+  s.nan.max_hops = static_cast<int>(rng.uniform_int(1, 4));
+  s.nan.relay_nodes = static_cast<int>(rng.uniform_int(4, 10));
+  s.nan.relay_edge_prob = rng.uniform(0.3, 0.9);
 }
 
 namespace {
@@ -271,6 +294,17 @@ std::vector<Scenario> shrink_candidates(const Scenario& s) {
   if (s.hybrid.n_packets > 10) {
     Scenario c = s;
     c.hybrid.n_packets = s.hybrid.n_packets / 2;
+    out.push_back(std::move(c));
+  }
+  if (s.nan.n_reports > 10) {
+    Scenario c = s;
+    c.nan.n_reports = s.nan.n_reports / 2;
+    out.push_back(std::move(c));
+  }
+  if (s.nan.max_hops > 1) {
+    // Relaying off entirely: only the direct link is a 1-hop path.
+    Scenario c = s;
+    c.nan.max_hops = 1;
     out.push_back(std::move(c));
   }
   return out;

@@ -76,6 +76,26 @@ struct Scenario {
     double gap_timeout_ms = 40.0;
   };
 
+  /// Parameters of the randomized NAN diversity/relay harnesses: the
+  /// first-wins dedup session (per-packet duplication across two tagged
+  /// interfaces), its redundancy accounting, and the relay planner's
+  /// random link graph. Plain values only — drawn AFTER every other field
+  /// so adding them left all previous scenario draws byte-identical.
+  struct NanFuzz {
+    int n_transformers = 3;
+    int stations_per_transformer = 4;
+    int mode = 3;              ///< DiversityMode index (0..3)
+    double p_remote = 0.2;
+    double gap_timeout_ms = 30.0;
+    int n_reports = 80;        ///< packets through the diversity harness
+    double dup_jitter_ms = 4.0;  ///< max skew between the two copies
+    double connect_etx = 3.0;
+    double max_link_etx = 8.0;
+    int max_hops = 3;
+    int relay_nodes = 6;       ///< stations in the relay fuzz graph
+    double relay_edge_prob = 0.6;
+  };
+
   Scenario() = default;
   explicit Scenario(core::Arena& arena)
       : cables(core::ArenaAllocator<Cable>(arena)),
@@ -106,6 +126,7 @@ struct Scenario {
   double duration_s = 0.25;     ///< traffic duration
 
   HybridFuzz hybrid;
+  NanFuzz nan;
 
   [[nodiscard]] sim::Time start_time() const { return sim::hours(start_hours); }
   [[nodiscard]] sim::Time duration() const { return sim::seconds(duration_s); }

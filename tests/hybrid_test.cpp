@@ -155,6 +155,7 @@ TEST(ReorderBuffer, LateStragglerAfterGapTimeoutIsDropped) {
   rb.on_packet(p, sim.now());
   EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
   EXPECT_EQ(rb.stragglers_dropped(), 1u);
+  EXPECT_EQ(rb.duplicates_dropped(), 0u);  // late != stale: distinct counters
   p.seq = 3;  // the live flow is unaffected
   rb.on_packet(p, sim.now());
   EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2, 3}));
@@ -179,7 +180,10 @@ TEST(ReorderBuffer, DuplicateOfDeliveredPacketIsDropped) {
   p.seq = 0;  // duplicate of an already-delivered packet
   rb.on_packet(p, sim.now());
   EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
-  EXPECT_EQ(rb.stragglers_dropped(), 1u);
+  // A stale copy of a *delivered* sequence is a duplicate, not a late
+  // straggler — the two drop reasons have separate counters.
+  EXPECT_EQ(rb.duplicates_dropped(), 1u);
+  EXPECT_EQ(rb.stragglers_dropped(), 0u);
 }
 
 TEST(ReorderBuffer, ClearResetsToFreshState) {
@@ -255,6 +259,7 @@ TEST(ReorderBuffer, StragglerExactlyAtGapTimeoutBoundaryIsDropped) {
   rb.on_packet(p, sim.now());
   EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
   EXPECT_EQ(rb.stragglers_dropped(), 1u);
+  EXPECT_EQ(rb.duplicates_dropped(), 0u);
   EXPECT_EQ(rb.buffered(), 0u);
 }
 
@@ -278,6 +283,7 @@ TEST(ReorderBuffer, ArrivalOneTickBeforeGapTimeoutIsRescued) {
   EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 2}));
   EXPECT_EQ(rb.timeouts(), 0u);
   EXPECT_EQ(rb.stragglers_dropped(), 0u);
+  EXPECT_EQ(rb.duplicates_dropped(), 0u);
   sim.run_until(boundary + sim::milliseconds(5));  // stale timer is harmless
   EXPECT_EQ(rb.timeouts(), 0u);
 }
@@ -316,6 +322,7 @@ TEST(ReorderBuffer, ClearMidGapCancelsTimerAndSupportsReuse) {
   EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 0, 1, 2}));
   EXPECT_EQ(rb.buffered(), 0u);
   EXPECT_EQ(rb.stragglers_dropped(), 0u);
+  EXPECT_EQ(rb.duplicates_dropped(), 0u);
 }
 
 TEST(HybridDevice, AggregatesTwoPipes) {

@@ -80,7 +80,8 @@ TEST(ScenarioShrink, CandidatesAreStrictlySimpler) {
         c.duration_s < s.duration_s ||
         (s.fault_pb_error > 0.0 && c.fault_pb_error == 0.0) ||
         (s.beacons && !c.beacons) ||
-        c.hybrid.n_packets < s.hybrid.n_packets;
+        c.hybrid.n_packets < s.hybrid.n_packets ||
+        c.nan.n_reports < s.nan.n_reports || c.nan.max_hops < s.nan.max_hops;
     EXPECT_TRUE(simpler);
   }
 }
@@ -106,8 +107,8 @@ TEST(ScenarioShrink, ShrunkScenarioStillBuildsAWorld) {
   EXPECT_EQ(trace.digest(), trace.digest());
 }
 
-TEST(Invariants, NamesCoverAllFifteenCheckers) {
-  EXPECT_EQ(invariant_names().size(), 15u);
+TEST(Invariants, NamesCoverAllEighteenCheckers) {
+  EXPECT_EQ(invariant_names().size(), 18u);
 }
 
 TEST(Invariants, CleanScenarioHasNoViolations) {
@@ -156,6 +157,57 @@ TEST(Invariants, CorruptionHooksTripTheirCheckers) {
     saw_dc |= v.invariant == "deferral-counter";
   }
   EXPECT_TRUE(saw_dc);
+}
+
+TEST(Invariants, NanCorruptionHooksTripTheirCheckers) {
+  // The NAN-side hooks live in check_hybrid_invariants: a leaked diversity
+  // copy, a skewed duplicate-bytes counter and a relay forwarding loop must
+  // each fire their own checker on an otherwise clean scenario.
+  ScenarioGen gen(3);
+  const Scenario s = gen.generate(0);
+
+  InvariantOptions leak;
+  leak.inject_dup_leak = true;
+  bool saw_leak = false;
+  for (const Violation& v : check_hybrid_invariants(s, leak)) {
+    saw_leak |= v.invariant == "diversity-no-dup-delivery";
+  }
+  EXPECT_TRUE(saw_leak);
+
+  InvariantOptions skew;
+  skew.inject_dup_bytes_skew = 2.0;
+  bool saw_skew = false;
+  for (const Violation& v : check_hybrid_invariants(s, skew)) {
+    saw_skew |= v.invariant == "diversity-accounting";
+  }
+  EXPECT_TRUE(saw_skew);
+
+  InvariantOptions cycle;
+  cycle.inject_relay_cycle = true;
+  bool saw_cycle = false;
+  for (const Violation& v : check_hybrid_invariants(s, cycle)) {
+    saw_cycle |= v.invariant == "relay-acyclic";
+  }
+  EXPECT_TRUE(saw_cycle);
+}
+
+TEST(ScenarioGen, NanFuzzDrawsAreStructurallyValid) {
+  ScenarioGen gen(17);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Scenario s = gen.generate(i);
+    EXPECT_GE(s.nan.n_transformers, 2);
+    EXPECT_GE(s.nan.stations_per_transformer, 3);
+    EXPECT_GE(s.nan.mode, 0);
+    EXPECT_LE(s.nan.mode, 3);
+    EXPECT_GE(s.nan.p_remote, 0.0);
+    EXPECT_LE(s.nan.p_remote, 1.0);
+    EXPECT_GT(s.nan.gap_timeout_ms, 0.0);
+    EXPECT_GT(s.nan.n_reports, 0);
+    EXPECT_GE(s.nan.max_hops, 1);
+    EXPECT_GT(s.nan.max_link_etx, s.nan.connect_etx);
+    EXPECT_GE(s.nan.relay_nodes, 2);
+    EXPECT_GT(s.nan.relay_edge_prob, 0.0);
+  }
 }
 
 }  // namespace
